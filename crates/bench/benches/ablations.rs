@@ -1,0 +1,107 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * vertical interleave factor V (coverage-vs-update-cost trade-off);
+//! * horizontal code choice (EDC8 vs SECDED vs EDC16);
+//! * port stealing on/off under rising port utilization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecc::{Bits, CodeKind};
+use memarray::{ErrorShape, TwoDArray, TwoDConfig};
+use std::hint::black_box;
+
+/// Vertical interleave sweep: recovery work depends on stripe size
+/// (rows/V per stripe), while the per-write update cost is V-independent.
+fn ablation_vertical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_vertical_rows");
+    group.sample_size(20);
+    for v in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+            b.iter_with_setup(
+                || {
+                    let mut bank = TwoDArray::new(TwoDConfig {
+                        rows: 256,
+                        horizontal: CodeKind::Edc(8),
+                        data_bits: 64,
+                        interleave: 4,
+                        vertical_rows: v,
+                    });
+                    let word = Bits::from_u64(3, 64);
+                    for r in 0..256 {
+                        bank.write_word(r, 0, &word);
+                    }
+                    // Cluster sized to the coverage window of this V.
+                    bank.inject(ErrorShape::Cluster {
+                        row: 0,
+                        col: 0,
+                        height: v,
+                        width: 16,
+                    });
+                    bank
+                },
+                |mut bank| {
+                    black_box(bank.recover().unwrap());
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Horizontal code sweep: write-path cost (encode on every write) for
+/// detection-only vs inline-correcting horizontal codes.
+fn ablation_horizontal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_horizontal_code");
+    for (label, code, data_bits) in [
+        ("edc8_64b", CodeKind::Edc(8), 64usize),
+        ("secded_64b", CodeKind::Secded, 64),
+        ("edc16_256b", CodeKind::Edc(16), 256),
+    ] {
+        group.bench_function(label, |b| {
+            let mut bank = TwoDArray::new(TwoDConfig {
+                rows: 128,
+                horizontal: code,
+                data_bits,
+                interleave: 2,
+                vertical_rows: 16,
+            });
+            let word = Bits::from_u64(0xFEED, data_bits);
+            let mut i = 0usize;
+            b.iter(|| {
+                bank.write_word(i % 128, i % 2, black_box(&word));
+                i = i.wrapping_add(1);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Port stealing ablation measured through the cycle simulator: wall-time
+/// of a fixed window is roughly constant, so this reports the *simulated*
+/// cost difference via a throughput proxy (instructions simulated per
+/// bench iteration).
+fn ablation_portsteal(c: &mut Criterion) {
+    use cachesim::{run_sim, ProtectionPolicy, SystemConfig, WorkloadProfile};
+    let mut group = c.benchmark_group("ablation_port_stealing");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("l1_no_steal", ProtectionPolicy::l1_only()),
+        ("l1_steal", ProtectionPolicy::l1_steal()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let stats = run_sim(
+                    SystemConfig::fat_cmp(),
+                    policy,
+                    WorkloadProfile::oltp(),
+                    5_000,
+                    9,
+                );
+                black_box(stats.instructions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_vertical, ablation_horizontal, ablation_portsteal);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the codecs underlying every figure:
+//! encode/decode throughput of EDC8, SECDED, and the BCH family — the
+//! raw-latency story behind the paper's coding-latency comparisons
+//! (Figures 1(c) and 7).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ecc::{Bch, Bits, Code, Edc, Secded};
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let data = Bits::from_u64(0x0123_4567_89AB_CDEF, 64);
+    let mut group = c.benchmark_group("encode_64b");
+    group.bench_function("edc8", |b| {
+        let code = Edc::new(64, 8);
+        b.iter(|| black_box(code.encode(black_box(&data))))
+    });
+    group.bench_function("secded", |b| {
+        let code = Secded::new(64);
+        b.iter(|| black_box(code.encode(black_box(&data))))
+    });
+    group.bench_function("dected", |b| {
+        let code = Bch::new(64, 2);
+        b.iter(|| black_box(code.encode(black_box(&data))))
+    });
+    group.bench_function("qecped", |b| {
+        let code = Bch::new(64, 4);
+        b.iter(|| black_box(code.encode(black_box(&data))))
+    });
+    group.bench_function("oecned", |b| {
+        let code = Bch::new(64, 8);
+        b.iter(|| black_box(code.encode(black_box(&data))))
+    });
+    group.finish();
+}
+
+fn bench_decode_clean(c: &mut Criterion) {
+    let data = Bits::from_u64(0xFEED_FACE_CAFE_F00D, 64);
+    let mut group = c.benchmark_group("decode_clean_64b");
+    group.bench_function("edc8", |b| {
+        let code = Edc::new(64, 8);
+        let check = code.encode(&data);
+        b.iter(|| black_box(code.decode(black_box(&data), black_box(&check))))
+    });
+    group.bench_function("secded", |b| {
+        let code = Secded::new(64);
+        let check = code.encode(&data);
+        b.iter(|| black_box(code.decode(black_box(&data), black_box(&check))))
+    });
+    group.bench_function("oecned", |b| {
+        let code = Bch::new(64, 8);
+        let check = code.encode(&data);
+        b.iter(|| black_box(code.decode(black_box(&data), black_box(&check))))
+    });
+    group.finish();
+}
+
+fn bench_decode_with_errors(c: &mut Criterion) {
+    let data = Bits::from_u64(0xAAAA_5555_0F0F_F0F0, 64);
+    let mut group = c.benchmark_group("decode_errors_64b");
+    group.bench_function("secded_1bit", |b| {
+        let code = Secded::new(64);
+        let check = code.encode(&data);
+        b.iter_batched(
+            || {
+                let mut d = data.clone();
+                d.flip(17);
+                d
+            },
+            |noisy| black_box(code.decode(&noisy, &check)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dected_2bit", |b| {
+        let code = Bch::new(64, 2);
+        let check = code.encode(&data);
+        b.iter_batched(
+            || {
+                let mut d = data.clone();
+                d.flip(5);
+                d.flip(44);
+                d
+            },
+            |noisy| black_box(code.decode(&noisy, &check)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("oecned_8bit", |b| {
+        let code = Bch::new(64, 8);
+        let check = code.encode(&data);
+        b.iter_batched(
+            || {
+                let mut d = data.clone();
+                for i in [1usize, 9, 17, 25, 33, 41, 49, 57] {
+                    d.flip(i);
+                }
+                d
+            },
+            |noisy| black_box(code.decode(&noisy, &check)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode_clean, bench_decode_with_errors);
+criterion_main!(benches);

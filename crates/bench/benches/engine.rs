@@ -1,0 +1,92 @@
+//! Criterion benchmarks of the 2D engine's operational costs: write path
+//! (read-before-write + vertical update), clean read path, and the
+//! recovery march — the costs behind the paper's Section 4/5 claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecc::{Bits, CodeKind};
+use memarray::{ErrorShape, TwoDArray, TwoDConfig};
+use std::hint::black_box;
+
+fn paper_config(rows: usize) -> TwoDConfig {
+    TwoDConfig {
+        rows,
+        horizontal: CodeKind::Edc(8),
+        data_bits: 64,
+        interleave: 4,
+        vertical_rows: 32,
+    }
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_write");
+    for (label, horizontal) in [("edc8", CodeKind::Edc(8)), ("secded", CodeKind::Secded)] {
+        group.bench_function(label, |b| {
+            let mut bank = TwoDArray::new(TwoDConfig {
+                rows: 256,
+                horizontal,
+                data_bits: 64,
+                interleave: 4,
+                vertical_rows: 32,
+            });
+            let word = Bits::from_u64(0x1234_5678_9ABC_DEF0, 64);
+            let mut i = 0usize;
+            b.iter(|| {
+                bank.write_word(i % 256, i % 4, black_box(&word));
+                i = i.wrapping_add(1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_read_clean");
+    group.bench_function("edc8", |b| {
+        let mut bank = TwoDArray::new(paper_config(256));
+        let word = Bits::from_u64(42, 64);
+        for r in 0..256 {
+            for w in 0..4 {
+                bank.write_word(r, w, &word);
+            }
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let out = bank.read_word(i % 256, i % 4).unwrap();
+            i = i.wrapping_add(1);
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn bench_recovery_march(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_march");
+    group.sample_size(20);
+    for rows in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter_with_setup(
+                || {
+                    let mut bank = TwoDArray::new(paper_config(rows));
+                    let word = Bits::from_u64(7, 64);
+                    for r in 0..rows {
+                        bank.write_word(r, 0, &word);
+                    }
+                    bank.inject(ErrorShape::Cluster {
+                        row: 1,
+                        col: 0,
+                        height: 16.min(rows),
+                        width: 16,
+                    });
+                    bank
+                },
+                |mut bank| {
+                    black_box(bank.recover().unwrap());
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_path, bench_read_path, bench_recovery_march);
+criterion_main!(benches);

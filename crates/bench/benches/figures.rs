@@ -1,0 +1,128 @@
+//! Criterion groups mirroring the figure pipelines: one bench group per
+//! paper artifact, so `cargo bench` exercises every experiment's code
+//! path and reports its runtime cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig1_codes(c: &mut Criterion) {
+    use cachegeom::{energy_overhead, storage_overhead, CacheSpec, CostModel, Objective};
+    use ecc::CodeKind;
+    let model = CostModel::default();
+    c.bench_function("fig1_overheads", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for code in CodeKind::paper_set() {
+                acc += storage_overhead(code, 64);
+                acc += energy_overhead(&model, &CacheSpec::l1_64kb(), code, Objective::Balanced);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig2_sweep(c: &mut Criterion) {
+    use cachegeom::{interleave_sweep, CostModel, Objective};
+    let model = CostModel::default();
+    c.bench_function("fig2_interleave_sweep", |b| {
+        b.iter(|| {
+            let pts = interleave_sweep(&model, 8192, 72, &[1, 2, 4, 8, 16], Objective::Balanced);
+            black_box(pts.len())
+        })
+    });
+}
+
+fn fig3_coverage(c: &mut Criterion) {
+    use ecc::CodeKind;
+    use memarray::coverage::twod_covers;
+    use memarray::{ErrorShape, TwoDConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let config = TwoDConfig {
+        rows: 64,
+        horizontal: CodeKind::Edc(8),
+        data_bits: 64,
+        interleave: 4,
+        vertical_rows: 16,
+    };
+    let mut group = c.benchmark_group("fig3_coverage_trial");
+    group.sample_size(10);
+    group.bench_function("cluster_16x16", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let out = twod_covers(
+                config,
+                ErrorShape::Cluster {
+                    row: 3,
+                    col: 5,
+                    height: 16,
+                    width: 16,
+                },
+                &mut rng,
+            );
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn fig5_simulation(c: &mut Criterion) {
+    use cachesim::{run_sim, ProtectionPolicy, SystemConfig, WorkloadProfile};
+    let mut group = c.benchmark_group("fig5_sim_window");
+    group.sample_size(10);
+    group.bench_function("fat_oltp_full_5k_cycles", |b| {
+        b.iter(|| {
+            let stats = run_sim(
+                SystemConfig::fat_cmp(),
+                ProtectionPolicy::full(),
+                WorkloadProfile::oltp(),
+                5_000,
+                3,
+            );
+            black_box(stats.ipc())
+        })
+    });
+    group.finish();
+}
+
+fn fig7_analysis(c: &mut Criterion) {
+    use cachegeom::{CacheSpec, CostModel};
+    use twod_cache::analysis::{figure7, ComparedScheme};
+    let model = CostModel::default();
+    c.bench_function("fig7_overhead_analysis", |b| {
+        b.iter(|| {
+            let reports = figure7(
+                &model,
+                &CacheSpec::l1_64kb(),
+                &ComparedScheme::figure7_l1_set(),
+            );
+            black_box(reports.len())
+        })
+    });
+}
+
+fn fig8_models(c: &mut Criterion) {
+    use reliability::{FieldModel, RepairScheme, YieldModel};
+    let model = YieldModel::l2_16mb();
+    c.bench_function("fig8_yield_curve", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cells in (0..=4000u64).step_by(400) {
+                acc += model.yield_probability(cells, RepairScheme::EccPlusSpares(16));
+                acc += FieldModel::paper_system(0.001e-2).success_without_2d(cells as f64 / 800.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    fig1_codes,
+    fig2_sweep,
+    fig3_coverage,
+    fig5_simulation,
+    fig7_analysis,
+    fig8_models
+);
+criterion_main!(benches);

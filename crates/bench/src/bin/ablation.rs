@@ -1,0 +1,94 @@
+//! Ablation sweeps over the 2D scheme's design parameters (DESIGN.md §7):
+//!
+//! * vertical interleave factor V — coverage height vs storage;
+//! * horizontal code / interleave — detection width vs power;
+//! * scrub interval — error-accumulation exposure.
+
+use bench::header;
+use ecc::CodeKind;
+use memarray::coverage::{twod_covers, CoverageOutcome};
+use memarray::scrub::{accumulation_defeat_probability, exposure_window, CheckPolicy};
+use memarray::{ErrorShape, TwoDConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 128;
+const TRIALS: usize = 8;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(77);
+
+    header("Ablation A: vertical interleave factor V (EDC8+Intv4 horizontal)");
+    println!("  {:<6} {:>16} {:>18} {:>22}", "V", "storage ovh", "VxV cluster", "(V+1)x(V+1) cluster");
+    for v in [8usize, 16, 32, 64] {
+        let config = TwoDConfig {
+            rows: ROWS,
+            horizontal: CodeKind::Edc(8),
+            data_bits: 64,
+            interleave: 4,
+            vertical_rows: v,
+        };
+        let overhead = 8.0 / 64.0 + v as f64 / ROWS as f64 * (1.0 + 8.0 / 64.0);
+        let inside = cluster_rate(&mut rng, config, v.min(32), 32);
+        let outside = cluster_rate(&mut rng, config, v + 1, 33.min(288));
+        println!(
+            "  {v:<6} {:>15.1}% {:>17.0}% {:>21.0}%",
+            overhead * 100.0,
+            inside,
+            outside
+        );
+    }
+
+    header("Ablation B: horizontal code choice (V = 32)");
+    println!("  {:<22} {:>12} {:>16} {:>18}", "horizontal", "check bits", "row burst detect", "inline correct");
+    for (code, interleave, data_bits) in [
+        (CodeKind::Edc(8), 4usize, 64usize),
+        (CodeKind::Edc(16), 2, 256),
+        (CodeKind::Secded, 2, 64),
+    ] {
+        let check = code.check_bits(data_bits);
+        let burst = code.burst_detectable(data_bits) * interleave;
+        let inline = code.correctable() > 0;
+        println!(
+            "  {:<22} {check:>12} {burst:>14}bit {inline:>18}",
+            format!("{code}+Intv{interleave}/{data_bits}b")
+        );
+    }
+
+    header("Ablation C: scrub interval vs error accumulation");
+    println!("  (per-word error rate 1e-4/unit; SECDED defeated by the 2nd arrival)");
+    println!("  {:<26} {:>14} {:>18}", "policy", "exposure", "defeat probability");
+    for policy in [
+        CheckPolicy::OnAccess,
+        CheckPolicy::PeriodicScrub { interval: 100 },
+        CheckPolicy::PeriodicScrub { interval: 1_000 },
+        CheckPolicy::PeriodicScrub { interval: 10_000 },
+    ] {
+        let window = exposure_window(policy, 10.0);
+        let p = accumulation_defeat_probability(1e-4, window);
+        let label = match policy {
+            CheckPolicy::OnAccess => "on-access check".to_string(),
+            CheckPolicy::PeriodicScrub { interval } => format!("scrub every {interval}"),
+        };
+        println!("  {label:<26} {window:>14.0} {p:>17.5}");
+    }
+}
+
+fn cluster_rate(rng: &mut StdRng, config: TwoDConfig, h: usize, w: usize) -> f64 {
+    let h = h.min(ROWS);
+    let cols = (64 + CodeKind::Edc(8).check_bits(64)) * config.interleave;
+    let w = w.min(cols);
+    let mut ok = 0;
+    for _ in 0..TRIALS {
+        let shape = ErrorShape::Cluster {
+            row: rng.gen_range(0..=ROWS - h),
+            col: rng.gen_range(0..=cols - w),
+            height: h,
+            width: w,
+        };
+        if twod_covers(config, shape, rng) == CoverageOutcome::Corrected {
+            ok += 1;
+        }
+    }
+    ok as f64 / TRIALS as f64 * 100.0
+}

@@ -1,0 +1,31 @@
+//! Figure 1(b)/(c): extra storage and extra read energy of conventional
+//! per-word codes (EDC8, SECDED, DECTED, QECPED, OECNED) for 64-bit and
+//! 256-bit words.
+
+use bench::{bar_row, header};
+use cachegeom::{energy_overhead, storage_overhead, CacheSpec, CostModel, Objective};
+use ecc::CodeKind;
+
+fn main() {
+    let model = CostModel::default();
+
+    header("Figure 1(b): extra memory storage (% of data bits)");
+    for (label, word) in [("64b word", 64usize), ("256b word", 256)] {
+        println!("{label}:");
+        for code in CodeKind::paper_set() {
+            bar_row(&code.to_string(), storage_overhead(code, word) * 100.0, 100.0);
+        }
+    }
+
+    header("Figure 1(c): extra energy per read (% of unprotected read)");
+    for (label, spec) in [
+        ("64b word / 64kB array", CacheSpec::l1_64kb()),
+        ("256b word / 4MB array", CacheSpec::l2_4mb()),
+    ] {
+        println!("{label}:");
+        for code in CodeKind::paper_set() {
+            let e = energy_overhead(&model, &spec, code, Objective::Balanced) * 100.0;
+            bar_row(&code.to_string(), e, 250.0);
+        }
+    }
+}

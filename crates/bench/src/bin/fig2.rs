@@ -1,0 +1,31 @@
+//! Figure 2(b)/(c): normalized read energy vs physical bit-interleaving
+//! degree for the 64kB L1 and 4MB L2 caches under the four Cacti
+//! objective functions.
+
+use bench::header;
+use cachegeom::{interleave_sweep, CostModel, Objective};
+
+fn main() {
+    let model = CostModel::default();
+    let degrees = [1usize, 2, 4, 8, 16];
+
+    for (title, words, cw) in [
+        ("Figure 2(b): 64kB cache (2-way, 2 ports, 1 bank), (72,64) words", 8192usize, 72usize),
+        ("Figure 2(c): 4MB cache (16-way, 1 port, 8 banks), (266,256) words", 16384, 266),
+    ] {
+        header(title);
+        print!("  {:<26}", "objective \\ interleave");
+        for d in degrees {
+            print!(" {d:>2}:1    ");
+        }
+        println!();
+        for objective in Objective::all() {
+            let pts = interleave_sweep(&model, words, cw, &degrees, objective);
+            print!("  {:<26}", objective.label());
+            for p in &pts {
+                print!(" {:<8.2}", p.normalized_energy);
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 5: IPC loss of 2D-protected caches on the fat and lean CMPs
+//! across the six workloads, for the four protection configurations
+//! (L1-only, L1+port-stealing, L2-only, L1+steal+L2).
+//!
+//! Pass `--print-config` to dump the Table 1 system parameters instead.
+
+use bench::header;
+use cachesim::{figure5, figure5_average, SystemConfig, DEFAULT_CYCLES};
+
+fn main() {
+    if std::env::args().any(|a| a == "--print-config") {
+        print_table1();
+        return;
+    }
+    for (title, cfg) in [
+        ("Figure 5(a): fat baseline (% IPC loss)", SystemConfig::fat_cmp()),
+        ("Figure 5(b): lean baseline (% IPC loss)", SystemConfig::lean_cmp()),
+    ] {
+        header(title);
+        println!(
+            "  {:<10} {:>8} {:>12} {:>8} {:>14}",
+            "workload", "L1", "L1+steal", "L2", "L1+steal+L2"
+        );
+        let rows = figure5(cfg, DEFAULT_CYCLES, 42);
+        for r in &rows {
+            println!(
+                "  {:<10} {:>7.2}% {:>11.2}% {:>7.2}% {:>13.2}%",
+                r.workload, r.l1_only, r.l1_steal, r.l2_only, r.full
+            );
+        }
+        let avg = figure5_average(&rows);
+        println!(
+            "  {:<10} {:>7.2}% {:>11.2}% {:>7.2}% {:>13.2}%",
+            avg.workload, avg.l1_only, avg.l1_steal, avg.l2_only, avg.full
+        );
+    }
+}
+
+fn print_table1() {
+    header("Table 1: simulated systems");
+    for (name, c) in [("Fat CMP", SystemConfig::fat_cmp()), ("Lean CMP", SystemConfig::lean_cmp())] {
+        println!("  {name}:");
+        println!("    cores                {}", c.cores);
+        println!("    threads/core         {}", c.threads_per_core);
+        println!("    issue width          {}", c.issue_width);
+        println!("    L1D ports            {}", c.l1d_ports);
+        println!("    store queue          {}", c.store_queue);
+        println!("    L1 hit               {} cycles", c.l1_hit_cycles);
+        println!("    L2 hit (incl. xbar)  {} cycles", c.l2_hit_cycles);
+        println!("    L2 banks             {}", c.l2_banks);
+        println!("    memory               {} cycles", c.memory_cycles);
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 6: cache access breakdown per 100 cycles under full 2D
+//! protection — L1 data caches (per core) and the shared L2, for both
+//! CMPs, including the extra read-before-write traffic.
+
+use bench::header;
+use cachesim::{figure6, SystemConfig, DEFAULT_CYCLES};
+
+fn main() {
+    for (name, cfg) in [("fat", SystemConfig::fat_cmp()), ("lean", SystemConfig::lean_cmp())] {
+        let rows = figure6(cfg, DEFAULT_CYCLES, 42);
+
+        header(&format!(
+            "Figure 6: {name} baseline L1 D-cache accesses / 100 cycles (per core)"
+        ));
+        println!(
+            "  {:<10} {:>10} {:>10} {:>8} {:>10} {:>12} {:>8}",
+            "workload", "Read:Inst", "Read:Data", "Write", "Fill/Evict", "Extra-2D", "total"
+        );
+        for r in &rows {
+            println!(
+                "  {:<10} {:>10.1} {:>10.1} {:>8.1} {:>10.1} {:>12.1} {:>8.1}",
+                r.workload,
+                r.l1.read_inst,
+                r.l1.read_data,
+                r.l1.write,
+                r.l1.fill_evict,
+                r.l1.extra_2d,
+                r.l1.total()
+            );
+        }
+
+        header(&format!(
+            "Figure 6: {name} baseline L2 accesses / 100 cycles (shared cache)"
+        ));
+        println!(
+            "  {:<10} {:>10} {:>8} {:>10} {:>12} {:>8}",
+            "workload", "Read:Data", "Write", "Fill/Evict", "Extra-2D", "total"
+        );
+        for r in &rows {
+            println!(
+                "  {:<10} {:>10.1} {:>8.1} {:>10.1} {:>12.1} {:>8.1}",
+                r.workload,
+                r.l2.read_data,
+                r.l2.write,
+                r.l2.fill_evict,
+                r.l2.extra_2d,
+                r.l2.total()
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 7: area, coding latency, and dynamic power of 2D coding vs the
+//! conventional 32-bit-coverage schemes, normalized to SECDED+Intv2, for
+//! the 64kB L1 and 4MB L2 design points.
+
+use bench::header;
+use cachegeom::{CacheSpec, CostModel};
+use twod_cache::analysis::{figure7, ComparedScheme};
+
+fn main() {
+    let model = CostModel::default();
+    for (title, spec, set) in [
+        (
+            "Figure 7(a): 64kB L1 data cache (normalized to SECDED+Intv2)",
+            CacheSpec::l1_64kb(),
+            ComparedScheme::figure7_l1_set(),
+        ),
+        (
+            "Figure 7(b): 4MB L2 cache (normalized to SECDED+Intv2)",
+            CacheSpec::l2_4mb(),
+            ComparedScheme::figure7_l2_set(),
+        ),
+    ] {
+        header(title);
+        println!(
+            "  {:<28} {:>10} {:>14} {:>14}",
+            "scheme", "code area", "coding latency", "dynamic power"
+        );
+        for r in figure7(&model, &spec, &set) {
+            println!(
+                "  {:<28} {:>9.0}% {:>13.0}% {:>13.0}%",
+                r.label,
+                r.code_area * 100.0,
+                r.coding_latency * 100.0,
+                r.dynamic_power * 100.0
+            );
+        }
+    }
+}

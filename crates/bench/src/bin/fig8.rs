@@ -1,0 +1,47 @@
+//! Figure 8: (a) 16MB L2 yield vs number of failing cells under four
+//! repair provisions; (b) probability that ECC-based hard-error
+//! correction survives N years of soft errors, with and without 2D
+//! coding.
+
+use bench::header;
+use reliability::{FieldModel, RepairScheme, YieldModel};
+
+fn main() {
+    header("Figure 8(a): yield of a 16MB L2 using ECC-based hard-error correction");
+    let m = YieldModel::l2_16mb();
+    let schemes = [
+        RepairScheme::SpareRows(128),
+        RepairScheme::EccOnly,
+        RepairScheme::EccPlusSpares(16),
+        RepairScheme::EccPlusSpares(32),
+    ];
+    print!("  {:<16}", "failing cells");
+    for s in &schemes {
+        print!(" {:>14}", s.label());
+    }
+    println!();
+    for cells in (0..=4000u64).step_by(400) {
+        print!("  {cells:<16}");
+        for s in &schemes {
+            print!(" {:>13.1}%", m.yield_probability(cells, *s) * 100.0);
+        }
+        println!();
+    }
+
+    header("Figure 8(b): successful correction over time (10 x 16MB caches, 1000 FIT/Mb)");
+    let hers = FieldModel::figure8b_hers();
+    print!("  {:<10} {:>12}", "years", "With 2D");
+    for her in hers {
+        print!(" {:>18}", format!("No-2D HER={:.4}%", her * 100.0));
+    }
+    println!();
+    for years in 0..=5 {
+        let y = years as f64;
+        print!("  {years:<10} {:>11.1}%", FieldModel::paper_system(hers[0]).success_with_2d(y) * 100.0);
+        for her in hers {
+            let s = FieldModel::paper_system(her).success_without_2d(y);
+            print!(" {:>17.1}%", s * 100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,81 @@
+//! Unified experiment runner: regenerates any (or every) paper artifact
+//! by name.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- all
+//! cargo run --release -p bench --bin repro -- fig5 fig7
+//! cargo run --release -p bench --bin repro -- table1 ablation
+//! ```
+//!
+//! Each experiment is a sibling binary in the same target directory, so
+//! `repro` requires the workspace binaries to be built (cargo does this
+//! automatically when invoked through `cargo run`... for `repro` itself;
+//! run `cargo build --release -p bench` once to build the siblings).
+
+use std::process::Command;
+
+const EXPERIMENTS: &[(&str, &str, &[&str])] = &[
+    ("fig1", "code storage + energy overheads (Fig. 1b/1c)", &[]),
+    ("fig2", "interleaving energy sweep (Fig. 2b/2c)", &[]),
+    ("fig3", "coverage vs overhead, 256x256 array (Fig. 3)", &[]),
+    ("fig5", "IPC loss, fat + lean CMPs (Fig. 5a/5b)", &[]),
+    ("fig6", "cache access mix per 100 cycles (Fig. 6)", &[]),
+    ("fig7", "area/latency/power vs conventional (Fig. 7a/7b)", &[]),
+    ("fig8", "yield + field reliability (Fig. 8a/8b)", &[]),
+    ("table1", "simulated system parameters (Table 1)", &["--print-config"]),
+    ("ablation", "design-choice ablation sweeps", &[]),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    let selected: Vec<&(&str, &str, &[&str])> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for arg in &args {
+            match EXPERIMENTS.iter().find(|(name, _, _)| name == arg) {
+                Some(e) => picked.push(e),
+                None => {
+                    eprintln!("unknown experiment '{arg}'");
+                    print_usage();
+                    std::process::exit(2);
+                }
+            }
+        }
+        picked
+    };
+    let mut failures = 0;
+    for (name, description, extra) in selected {
+        println!("\n######## {name}: {description} ########");
+        let bin = if *name == "table1" { "fig5" } else { name };
+        let mut path = std::env::current_exe().expect("own executable path");
+        path.set_file_name(bin);
+        match Command::new(&path).args(*extra).status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("failed to launch {} ({}): {e}", name, path.display());
+                eprintln!("hint: build the siblings with `cargo build --release -p bench`");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    println!("usage: repro [all | <experiment>...]");
+    println!("experiments:");
+    for (name, description, _) in EXPERIMENTS {
+        println!("  {name:<10} {description}");
+    }
+}

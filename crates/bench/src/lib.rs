@@ -1,0 +1,53 @@
+//! Shared output helpers for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper and prints it as an aligned ASCII table plus, where useful, a
+//! crude bar rendering so the *shape* can be eyeballed against the
+//! original figure.
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Prints one labelled row of values with a fixed label width.
+pub fn row(label: &str, values: &[(String, f64)]) {
+    print!("  {label:<26}");
+    for (name, v) in values {
+        print!(" {name}={v:<8.3}");
+    }
+    println!();
+}
+
+/// Renders a horizontal bar scaled to `max` over `width` characters.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "#".repeat(n)
+}
+
+/// Prints a labelled bar line.
+pub fn bar_row(label: &str, value: f64, max: f64) {
+    println!("  {label:<26} {value:8.3} |{}", bar(value, max, 40));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10).len(), 5);
+        assert_eq!(bar(10.0, 10.0, 10).len(), 10);
+        assert_eq!(bar(0.0, 10.0, 10).len(), 0);
+        assert_eq!(bar(1.0, 0.0, 10).len(), 0);
+    }
+
+    #[test]
+    fn bar_clamps_overflow() {
+        assert_eq!(bar(20.0, 10.0, 10).len(), 10);
+    }
+}

@@ -1,0 +1,170 @@
+//! Cache-level specifications and the code-overhead helpers behind
+//! Figure 1: extra storage and extra energy per read for each ECC scheme.
+
+use crate::{optimize, ArrayGeometry, ArrayMetrics, CostModel, Objective};
+use ecc::CodeKind;
+
+/// A cache data-array specification (one of the paper's design points).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Total data capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Data word width the code protects (64 for L1, 256 for L2 here).
+    pub word_data_bits: usize,
+    /// Number of independent banks.
+    pub banks: usize,
+    /// Physical bit-interleave degree inside a bank.
+    pub interleave: usize,
+}
+
+impl CacheSpec {
+    /// The paper's 64kB L1 data cache (2-way, 2 ports, 1 bank; 64-bit
+    /// words).
+    pub fn l1_64kb() -> Self {
+        CacheSpec {
+            capacity_bytes: 64 * 1024,
+            word_data_bits: 64,
+            banks: 1,
+            interleave: 2,
+        }
+    }
+
+    /// The paper's 4MB L2 cache (16-way, 1 port, 8 banks; 256-bit words).
+    pub fn l2_4mb() -> Self {
+        CacheSpec {
+            capacity_bytes: 4 * 1024 * 1024,
+            word_data_bits: 256,
+            banks: 8,
+            interleave: 2,
+        }
+    }
+
+    /// The 16MB shared L2 of the fat CMP (8 banks).
+    pub fn l2_16mb() -> Self {
+        CacheSpec {
+            capacity_bytes: 16 * 1024 * 1024,
+            word_data_bits: 256,
+            banks: 8,
+            interleave: 2,
+        }
+    }
+
+    /// Returns a copy with a different interleave degree.
+    pub fn with_interleave(mut self, interleave: usize) -> Self {
+        self.interleave = interleave;
+        self
+    }
+
+    /// Data words per bank.
+    pub fn words_per_bank(&self) -> usize {
+        self.capacity_bytes * 8 / self.word_data_bits / self.banks
+    }
+
+    /// Geometry of one bank protected by a code with `check_bits` extra
+    /// bits per word.
+    pub fn bank_geometry(&self, check_bits: usize) -> ArrayGeometry {
+        ArrayGeometry::new(
+            self.words_per_bank(),
+            self.word_data_bits + check_bits,
+            self.interleave,
+        )
+    }
+
+    /// Optimized metrics of one bank under `objective`.
+    pub fn bank_metrics(
+        &self,
+        model: &CostModel,
+        check_bits: usize,
+        objective: Objective,
+    ) -> ArrayMetrics {
+        optimize(model, &self.bank_geometry(check_bits), objective).metrics
+    }
+}
+
+/// Figure 1(b): extra storage of a code relative to the raw data bits.
+pub fn storage_overhead(code: CodeKind, word_data_bits: usize) -> f64 {
+    code.check_bits(word_data_bits) as f64 / word_data_bits as f64
+}
+
+/// Figure 1(c): extra dynamic energy per read from (a) reading the check
+/// columns and (b) evaluating the checker logic, relative to an
+/// unprotected read of the same array.
+pub fn energy_overhead(
+    model: &CostModel,
+    spec: &CacheSpec,
+    code: CodeKind,
+    objective: Objective,
+) -> f64 {
+    let check_bits = code.check_bits(spec.word_data_bits);
+    let plain = spec.bank_metrics(model, 0, objective).read_energy;
+    let coded = spec.bank_metrics(model, check_bits, objective).read_energy;
+    let logic = code.logic_cost(spec.word_data_bits).xor_gates as f64
+        * model.sense_per_col
+        * XOR_ENERGY_PER_SENSE;
+    // The interleave degree multiplies the logic: one checker per word in
+    // flight (the paper assumes per-word parallel XOR trees).
+    (coded - plain + logic) / plain
+}
+
+/// Energy of one 2-input XOR evaluation, as a fraction of the sense-amp
+/// column energy (logic gates are far cheaper than array column accesses).
+const XOR_ENERGY_PER_SENSE: f64 = 0.02;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_overheads_match_figure1b() {
+        // 64-bit words.
+        assert!((storage_overhead(CodeKind::Edc(8), 64) - 0.125).abs() < 1e-9);
+        assert!((storage_overhead(CodeKind::Secded, 64) - 0.125).abs() < 1e-9);
+        assert!((storage_overhead(CodeKind::Dected, 64) - 15.0 / 64.0).abs() < 1e-9);
+        assert!((storage_overhead(CodeKind::Qecped, 64) - 29.0 / 64.0).abs() < 1e-9);
+        assert!((storage_overhead(CodeKind::Oecned, 64) - 57.0 / 64.0).abs() < 1e-9);
+        // 256-bit words are much cheaper relatively (the Fig. 1(b) gap).
+        assert!(storage_overhead(CodeKind::Oecned, 256) < 0.33);
+        assert!(storage_overhead(CodeKind::Secded, 256) < 0.05);
+    }
+
+    #[test]
+    fn energy_overhead_grows_with_code_strength() {
+        let model = CostModel::default();
+        let spec = CacheSpec::l1_64kb();
+        let mut last = 0.0;
+        for code in CodeKind::paper_set() {
+            if matches!(code, CodeKind::Edc(_)) {
+                continue; // EDC8 and SECDED have equal check bits; skip ordering check
+            }
+            let e = energy_overhead(&model, &spec, code, Objective::Balanced);
+            assert!(e > last, "{code}: {e} <= {last}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn energy_overhead_smaller_for_wide_words() {
+        // Fig. 1(c): the 256-bit word amortizes the check-bit reads.
+        let model = CostModel::default();
+        let e64 = energy_overhead(
+            &model,
+            &CacheSpec::l1_64kb(),
+            CodeKind::Oecned,
+            Objective::Balanced,
+        );
+        let e256 = energy_overhead(
+            &model,
+            &CacheSpec::l2_4mb(),
+            CodeKind::Oecned,
+            Objective::Balanced,
+        );
+        assert!(e256 < e64, "4MB/256b {e256} should be below 64kB/64b {e64}");
+    }
+
+    #[test]
+    fn specs_have_sane_word_counts() {
+        assert_eq!(CacheSpec::l1_64kb().words_per_bank(), 8192);
+        assert_eq!(CacheSpec::l2_4mb().words_per_bank(), 16384);
+        assert_eq!(CacheSpec::l2_16mb().words_per_bank(), 65536);
+    }
+}

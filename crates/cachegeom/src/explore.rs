@@ -1,0 +1,208 @@
+//! Design-space exploration over segmentation plans under the four
+//! objective functions the paper quotes from its Cacti study:
+//! delay-only, power-only, delay+area, and power+delay+area balanced.
+
+use crate::{ArrayGeometry, ArrayMetrics, CostModel, SegmentPlan};
+
+/// Optimization objective for choosing a segmentation plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimize access delay.
+    DelayOnly,
+    /// Minimize dynamic read energy.
+    PowerOnly,
+    /// Minimize the delay x area product.
+    DelayArea,
+    /// Minimize the energy x delay x area product.
+    Balanced,
+}
+
+impl Objective {
+    /// All four objectives in the paper's order.
+    pub fn all() -> [Objective; 4] {
+        [
+            Objective::DelayOnly,
+            Objective::DelayArea,
+            Objective::Balanced,
+            Objective::PowerOnly,
+        ]
+    }
+
+    /// Scalar score to minimize (normalized metrics recommended).
+    fn score(&self, m: &ArrayMetrics) -> f64 {
+        match self {
+            Objective::DelayOnly => m.delay,
+            Objective::PowerOnly => m.read_energy,
+            Objective::DelayArea => m.delay * m.area,
+            Objective::Balanced => m.read_energy * m.delay * m.area,
+        }
+    }
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Objective::DelayOnly => "Delay-only Opt",
+            Objective::PowerOnly => "Power-only Opt",
+            Objective::DelayArea => "Delay+Area Opt",
+            Objective::Balanced => "Power+Delay+Area Opt",
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Result of a design-space exploration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Chosen {
+    /// The winning segmentation plan.
+    pub plan: SegmentPlan,
+    /// Its metrics.
+    pub metrics: ArrayMetrics,
+}
+
+/// Minimum rows per bitline segment (sense-amp signal margin).
+pub const MIN_SEGMENT_ROWS: usize = 16;
+/// Minimum columns per wordline segment (driver pitch).
+pub const MIN_SEGMENT_COLS: usize = 32;
+
+/// Explores all feasible plans for `geom` and returns the best under
+/// `objective`.
+pub fn optimize(model: &CostModel, geom: &ArrayGeometry, objective: Objective) -> Chosen {
+    let plans = SegmentPlan::enumerate(geom, MIN_SEGMENT_ROWS, MIN_SEGMENT_COLS);
+    let mut best: Option<Chosen> = None;
+    for plan in plans {
+        let metrics = model.evaluate(geom, &plan);
+        let score = objective.score(&metrics);
+        let better = match &best {
+            None => true,
+            Some(b) => score < objective.score(&b.metrics),
+        };
+        if better {
+            best = Some(Chosen { plan, metrics });
+        }
+    }
+    best.expect("at least one plan always exists")
+}
+
+/// One point of the Fig. 2 interleave sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Interleave degree.
+    pub interleave: usize,
+    /// Energy normalized to the 1:1 point of the same objective.
+    pub normalized_energy: f64,
+    /// The chosen plan at this degree.
+    pub chosen: Chosen,
+}
+
+/// Sweeps interleave degrees for a word store of `words x codeword_bits`,
+/// normalizing each objective's curve to its own 1:1 energy — exactly how
+/// Fig. 2(b)/(c) present the data.
+pub fn interleave_sweep(
+    model: &CostModel,
+    words: usize,
+    codeword_bits: usize,
+    degrees: &[usize],
+    objective: Objective,
+) -> Vec<SweepPoint> {
+    let base = optimize(model, &ArrayGeometry::new(words, codeword_bits, 1), objective)
+        .metrics
+        .read_energy;
+    degrees
+        .iter()
+        .map(|&d| {
+            let chosen = optimize(model, &ArrayGeometry::new(words, codeword_bits, d), objective);
+            SweepPoint {
+                interleave: d,
+                normalized_energy: chosen.metrics.read_energy / base,
+                chosen,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L1_WORDS: usize = 8192; // 64kB of 64-bit words
+    const L1_CW: usize = 72;
+    const L2_WORDS: usize = 131072; // 4MB of 256-bit words
+    const L2_CW: usize = 266;
+
+    #[test]
+    fn power_opt_chooses_more_segmentation_than_delay_opt() {
+        let model = CostModel::default();
+        let geom = ArrayGeometry::new(L1_WORDS, L1_CW, 4);
+        let power = optimize(&model, &geom, Objective::PowerOnly);
+        let delay = optimize(&model, &geom, Objective::DelayOnly);
+        assert!(
+            power.plan.ndbl >= delay.plan.ndbl,
+            "power plan {:?} vs delay plan {:?}",
+            power.plan,
+            delay.plan
+        );
+        assert!(power.metrics.read_energy <= delay.metrics.read_energy);
+    }
+
+    #[test]
+    fn sweep_monotonically_increases() {
+        let model = CostModel::default();
+        for objective in Objective::all() {
+            let pts = interleave_sweep(&model, L1_WORDS, L1_CW, &[1, 2, 4, 8, 16], objective);
+            assert!((pts[0].normalized_energy - 1.0).abs() < 1e-9);
+            for w in pts.windows(2) {
+                assert!(
+                    w[1].normalized_energy >= w[0].normalized_energy * 0.999,
+                    "{objective}: energy not monotone: {:?}",
+                    pts.iter().map(|p| p.normalized_energy).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn l1_power_opt_flatter_than_delay_opt() {
+        // The headline of Fig. 2(b): optimizing for power flattens the
+        // interleave penalty for the 64kB cache.
+        let model = CostModel::default();
+        let delay = interleave_sweep(&model, L1_WORDS, L1_CW, &[16], Objective::DelayOnly);
+        let power = interleave_sweep(&model, L1_WORDS, L1_CW, &[16], Objective::PowerOnly);
+        assert!(
+            power[0].normalized_energy < delay[0].normalized_energy,
+            "power-opt {} should be below delay-opt {}",
+            power[0].normalized_energy,
+            delay[0].normalized_energy
+        );
+    }
+
+    #[test]
+    fn l2_objectives_converge() {
+        // Fig. 2(c): for the 4MB cache with 256-bit words the power-aware
+        // and delay/area-optimal curves nearly coincide (the wide word
+        // leaves little room for optimization).
+        let model = CostModel::default();
+        let a = interleave_sweep(&model, L2_WORDS, L2_CW, &[16], Objective::Balanced);
+        let b = interleave_sweep(&model, L2_WORDS, L2_CW, &[16], Objective::PowerOnly);
+        let ratio = a[0].normalized_energy / b[0].normalized_energy;
+        assert!(
+            (0.7..=1.45).contains(&ratio),
+            "expected near-coincident curves, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn optimize_respects_minimums() {
+        let model = CostModel::default();
+        let geom = ArrayGeometry::new(L1_WORDS, L1_CW, 16);
+        for objective in Objective::all() {
+            let chosen = optimize(&model, &geom, objective);
+            assert!(chosen.plan.segment_rows(&geom) >= MIN_SEGMENT_ROWS);
+            assert!(chosen.plan.segment_cols(&geom) >= MIN_SEGMENT_COLS);
+        }
+    }
+}

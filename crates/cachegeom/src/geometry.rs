@@ -1,0 +1,155 @@
+//! Physical organization of one cache data array: logical dimensions plus
+//! the sub-array segmentation plan CACTI explores.
+
+/// Logical dimensions of a cache bank's data array.
+///
+/// A bank stores `words` codewords of `codeword_bits` each. With
+/// `interleave`-way physical bit interleaving, each physical row holds
+/// `interleave` codewords, so the array is `words / interleave` rows of
+/// `interleave * codeword_bits` columns. Every access must activate all
+/// columns of the selected row (the undesired words are pseudo-read) —
+/// this is the power cost of interleaving the paper quantifies in Fig. 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayGeometry {
+    /// Number of codewords stored in the bank.
+    pub words: usize,
+    /// Bits per codeword (data + check).
+    pub codeword_bits: usize,
+    /// Physical bit-interleave degree.
+    pub interleave: usize,
+}
+
+impl ArrayGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero or `words` is not a multiple of
+    /// `interleave`.
+    pub fn new(words: usize, codeword_bits: usize, interleave: usize) -> Self {
+        assert!(words > 0 && codeword_bits > 0 && interleave > 0);
+        assert!(
+            words % interleave == 0,
+            "words ({words}) must be a multiple of the interleave degree ({interleave})"
+        );
+        ArrayGeometry {
+            words,
+            codeword_bits,
+            interleave,
+        }
+    }
+
+    /// Physical rows (wordlines).
+    pub fn rows(&self) -> usize {
+        self.words / self.interleave
+    }
+
+    /// Physical columns (bitlines) — all are activated on each access.
+    pub fn cols(&self) -> usize {
+        self.interleave * self.codeword_bits
+    }
+
+    /// Total storage cells.
+    pub fn cells(&self) -> usize {
+        self.words * self.codeword_bits
+    }
+}
+
+/// A sub-array segmentation plan: how many times the wordlines and
+/// bitlines are divided (CACTI's `Ndwl` / `Ndbl`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SegmentPlan {
+    /// Wordline divisions (column groups with separate drivers).
+    pub ndwl: usize,
+    /// Bitline divisions (row groups with separate sense amps).
+    pub ndbl: usize,
+}
+
+impl SegmentPlan {
+    /// The unsegmented plan.
+    pub fn flat() -> Self {
+        SegmentPlan { ndwl: 1, ndbl: 1 }
+    }
+
+    /// Rows per bitline segment for a given geometry (at least 1).
+    pub fn segment_rows(&self, geom: &ArrayGeometry) -> usize {
+        (geom.rows() / self.ndbl).max(1)
+    }
+
+    /// Columns per wordline segment for a given geometry (at least 1).
+    pub fn segment_cols(&self, geom: &ArrayGeometry) -> usize {
+        (geom.cols() / self.ndwl).max(1)
+    }
+
+    /// All power-of-two plans with `segment_rows >= min_rows` and
+    /// `segment_cols >= min_cols`.
+    pub fn enumerate(geom: &ArrayGeometry, min_rows: usize, min_cols: usize) -> Vec<SegmentPlan> {
+        let mut plans = Vec::new();
+        let mut ndbl = 1;
+        while geom.rows() / ndbl >= min_rows {
+            let mut ndwl = 1;
+            while geom.cols() / ndwl >= min_cols {
+                plans.push(SegmentPlan { ndwl, ndbl });
+                ndwl *= 2;
+            }
+            ndbl *= 2;
+        }
+        if plans.is_empty() {
+            plans.push(SegmentPlan::flat());
+        }
+        plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_array() {
+        // Figure 3: 256x256 data array = 1024 (72,64) codewords at 4-way
+        // interleave -> 256 rows x 288 cols.
+        let geom = ArrayGeometry::new(1024, 72, 4);
+        assert_eq!(geom.rows(), 256);
+        assert_eq!(geom.cols(), 288);
+        assert_eq!(geom.cells(), 1024 * 72);
+    }
+
+    #[test]
+    fn interleave_trades_rows_for_cols() {
+        let flat = ArrayGeometry::new(8192, 72, 1);
+        let intv4 = ArrayGeometry::new(8192, 72, 4);
+        assert_eq!(flat.rows(), 4 * intv4.rows());
+        assert_eq!(intv4.cols(), 4 * flat.cols());
+        assert_eq!(flat.cells(), intv4.cells());
+    }
+
+    #[test]
+    fn plan_segments() {
+        let geom = ArrayGeometry::new(8192, 72, 4);
+        let plan = SegmentPlan { ndwl: 2, ndbl: 4 };
+        assert_eq!(plan.segment_rows(&geom), 512);
+        assert_eq!(plan.segment_cols(&geom), 144);
+    }
+
+    #[test]
+    fn enumerate_respects_minimums() {
+        let geom = ArrayGeometry::new(4096, 72, 1); // 4096 rows x 72 cols
+        let plans = SegmentPlan::enumerate(&geom, 64, 36);
+        assert!(!plans.is_empty());
+        for p in &plans {
+            assert!(p.segment_rows(&geom) >= 64);
+            assert!(p.segment_cols(&geom) >= 36);
+        }
+        // ndbl can go up to 4096/64 = 64; ndwl up to 2.
+        assert!(plans.iter().any(|p| p.ndbl == 64));
+        assert!(plans.iter().any(|p| p.ndwl == 2));
+        assert!(!plans.iter().any(|p| p.ndwl > 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the interleave")]
+    fn bad_interleave_panics() {
+        let _ = ArrayGeometry::new(10, 72, 4);
+    }
+}

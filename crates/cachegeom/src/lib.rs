@@ -1,0 +1,39 @@
+//! # cachegeom — CACTI-like analytical cache model
+//!
+//! A normalized-unit substitute for the modified Cacti 4.0 the paper used
+//! to cost its cache configurations. It reproduces the structural trends
+//! every relevant figure relies on:
+//!
+//! * [`ArrayGeometry`] / [`SegmentPlan`] — array organization and
+//!   wordline/bitline segmentation;
+//! * [`CostModel`] — per-component energy/delay/area model of one access;
+//! * [`optimize`]/[`interleave_sweep`] — design-space exploration under the paper's four
+//!   objective functions (Fig. 2's interleave sweeps);
+//! * [`cache`] — the paper's cache design points (64kB L1, 4MB/16MB L2)
+//!   and the per-code storage/energy overheads of Fig. 1.
+//!
+//! ## Example: the cost of bit interleaving
+//!
+//! ```
+//! use cachegeom::{interleave_sweep, CostModel, Objective};
+//!
+//! let model = CostModel::default();
+//! // 64kB of (72,64) SECDED words, power-optimized:
+//! let pts = interleave_sweep(&model, 8192, 72, &[1, 4, 16], Objective::PowerOnly);
+//! assert!(pts[2].normalized_energy > pts[0].normalized_energy);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+mod energy;
+mod explore;
+mod geometry;
+
+pub use cache::{energy_overhead, storage_overhead, CacheSpec};
+pub use energy::{ArrayMetrics, CostModel};
+pub use explore::{
+    interleave_sweep, optimize, Chosen, Objective, SweepPoint, MIN_SEGMENT_COLS, MIN_SEGMENT_ROWS,
+};
+pub use geometry::{ArrayGeometry, SegmentPlan};

@@ -1,0 +1,99 @@
+//! Property tests for the analytical cache model: physical sanity
+//! conditions that must hold for every geometry and plan the optimizer
+//! can visit.
+
+use cachegeom::{
+    interleave_sweep, optimize, ArrayGeometry, CostModel, Objective, SegmentPlan,
+    MIN_SEGMENT_COLS, MIN_SEGMENT_ROWS,
+};
+use proptest::prelude::*;
+
+fn geometry_strategy() -> impl Strategy<Value = ArrayGeometry> {
+    // Words = power-of-two between 2^10 and 2^17; codeword 60..300 bits;
+    // interleave 1/2/4/8 dividing the word count.
+    (10u32..=17, 60usize..300, 0usize..4).prop_map(|(lw, cw, ilog)| {
+        ArrayGeometry::new(1usize << lw, cw, 1 << ilog)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn metrics_positive_everywhere(geom in geometry_strategy()) {
+        let model = CostModel::default();
+        for plan in SegmentPlan::enumerate(&geom, MIN_SEGMENT_ROWS, MIN_SEGMENT_COLS) {
+            let m = model.evaluate(&geom, &plan);
+            prop_assert!(m.read_energy > 0.0);
+            prop_assert!(m.delay > 0.0);
+            prop_assert!(m.area >= geom.cells() as f64);
+        }
+    }
+
+    #[test]
+    fn optimizer_never_beats_exhaustive(geom in geometry_strategy()) {
+        let model = CostModel::default();
+        for objective in Objective::all() {
+            let chosen = optimize(&model, &geom, objective);
+            // No enumerated plan may score better than the chosen one.
+            for plan in SegmentPlan::enumerate(&geom, MIN_SEGMENT_ROWS, MIN_SEGMENT_COLS) {
+                let m = model.evaluate(&geom, &plan);
+                let score = match objective {
+                    Objective::DelayOnly => m.delay,
+                    Objective::PowerOnly => m.read_energy,
+                    Objective::DelayArea => m.delay * m.area,
+                    Objective::Balanced => m.read_energy * m.delay * m.area,
+                };
+                let best = match objective {
+                    Objective::DelayOnly => chosen.metrics.delay,
+                    Objective::PowerOnly => chosen.metrics.read_energy,
+                    Objective::DelayArea => chosen.metrics.delay * chosen.metrics.area,
+                    Objective::Balanced => {
+                        chosen.metrics.read_energy * chosen.metrics.delay * chosen.metrics.area
+                    }
+                };
+                prop_assert!(best <= score * (1.0 + 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn power_opt_weakly_dominates_on_energy(geom in geometry_strategy()) {
+        let model = CostModel::default();
+        let power = optimize(&model, &geom, Objective::PowerOnly);
+        for objective in [Objective::DelayOnly, Objective::DelayArea, Objective::Balanced] {
+            let other = optimize(&model, &geom, objective);
+            prop_assert!(
+                power.metrics.read_energy <= other.metrics.read_energy + 1e-9,
+                "{objective:?} beat power-only on energy"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_normalizes_to_one(words_log in 11u32..=16, cw in 64usize..280) {
+        let model = CostModel::default();
+        let pts = interleave_sweep(&model, 1usize << words_log, cw, &[1], Objective::Balanced);
+        prop_assert!((pts[0].normalized_energy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_interleave_never_cheaper(words_log in 12u32..=16, cw in 64usize..280) {
+        let model = CostModel::default();
+        let pts = interleave_sweep(
+            &model,
+            1usize << words_log,
+            cw,
+            &[1, 2, 4, 8],
+            Objective::PowerOnly,
+        );
+        for w in pts.windows(2) {
+            prop_assert!(
+                w[1].normalized_energy >= w[0].normalized_energy * 0.999,
+                "interleave {} cheaper than {}",
+                w[1].interleave,
+                w[0].interleave
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # cachesim — statistical cycle-level CMP cache-hierarchy simulator
+//!
+//! The performance substrate of the reproduction of *"Multi-bit Error
+//! Tolerant Caches Using Two-Dimensional Error Coding"* (Kim et al.,
+//! MICRO-40, 2007). The paper measured 2D coding's performance effects on
+//! FLEXUS full-system simulations of two CMPs; this crate substitutes a
+//! statistical cycle-level model that reproduces the mechanism those
+//! numbers come from: read-before-write operations competing for L1 ports
+//! and L2 banks.
+//!
+//! * [`SystemConfig`] — the paper's fat (4x OoO) and lean (8x in-order
+//!   SMT) CMP design points (Table 1);
+//! * [`WorkloadProfile`] — statistical models of OLTP, DSS, Web, Moldyn,
+//!   Ocean, and Sparse;
+//! * [`ProtectionPolicy`] — which caches carry 2D protection and whether
+//!   L1 port stealing is enabled;
+//! * [`Simulation`] — the cycle loop (L1 ports, store queues, banked L2,
+//!   miss overlap);
+//! * [`figure5`] / [`figure6`] — experiment drivers regenerating the
+//!   paper's performance figures.
+//!
+//! ## Example: cost of full 2D protection on the fat CMP
+//!
+//! ```
+//! use cachesim::{ipc_loss_percent, run_sim, ProtectionPolicy, SystemConfig, WorkloadProfile};
+//!
+//! let base = run_sim(SystemConfig::fat_cmp(), ProtectionPolicy::baseline(),
+//!                    WorkloadProfile::oltp(), 10_000, 42);
+//! let prot = run_sim(SystemConfig::fat_cmp(), ProtectionPolicy::full(),
+//!                    WorkloadProfile::oltp(), 10_000, 42);
+//! let loss = ipc_loss_percent(&base, &prot);
+//! assert!(loss < 15.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coherence;
+mod config;
+pub mod detailed;
+mod l2;
+mod mshr;
+mod port;
+pub mod replication;
+mod runner;
+mod sim;
+mod stats;
+pub mod trace;
+mod workload;
+
+pub use config::{CmpKind, ProtectionPolicy, SystemConfig};
+pub use l2::{BankedL2, L2Access};
+pub use mshr::MshrPool;
+pub use port::{ExtraGrant, L1Ports, PortGrant};
+pub use runner::{figure5, figure5_average, figure6, Fig5Row, Fig6Row, DEFAULT_CYCLES};
+pub use sim::{run_sim, Simulation};
+pub use stats::{ipc_loss_percent, AccessMix, SimStats};
+pub use workload::WorkloadProfile;

@@ -1,0 +1,103 @@
+//! Miss-status holding registers (MSHRs): the bound on outstanding
+//! misses per L2 (Table 1 provisions 64). When all MSHRs are busy, new
+//! misses must wait for an entry to retire, adding latency under heavy
+//! miss traffic.
+
+/// A pool of MSHRs tracked by retirement time.
+#[derive(Clone, Debug)]
+pub struct MshrPool {
+    /// Retirement times of in-flight misses (unsorted small vec).
+    inflight: Vec<u64>,
+    capacity: usize,
+}
+
+impl MshrPool {
+    /// Creates a pool with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR pool needs capacity");
+        MshrPool {
+            inflight: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently in flight at time `now`.
+    pub fn occupancy(&mut self, now: u64) -> usize {
+        self.inflight.retain(|&t| t > now);
+        self.inflight.len()
+    }
+
+    /// Allocates an entry for a miss issued at `now` that will retire at
+    /// `now + latency`. Returns the extra wait (0 if an entry was free;
+    /// otherwise the time until the earliest in-flight miss retires).
+    pub fn allocate(&mut self, now: u64, latency: u64) -> u64 {
+        self.inflight.retain(|&t| t > now);
+        let wait = if self.inflight.len() < self.capacity {
+            0
+        } else {
+            // Wait for the earliest retirement.
+            let earliest = *self.inflight.iter().min().expect("nonempty at capacity");
+            let wait = earliest - now;
+            // That entry retires exactly when we claim it.
+            let pos = self
+                .inflight
+                .iter()
+                .position(|&t| t == earliest)
+                .expect("found above");
+            self.inflight.swap_remove(pos);
+            wait
+        };
+        self.inflight.push(now + wait + latency);
+        wait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_entries_no_wait() {
+        let mut pool = MshrPool::new(4);
+        for i in 0..4 {
+            assert_eq!(pool.allocate(i, 100), 0);
+        }
+        assert_eq!(pool.occupancy(3), 4);
+    }
+
+    #[test]
+    fn full_pool_waits_for_retirement() {
+        let mut pool = MshrPool::new(2);
+        assert_eq!(pool.allocate(0, 10), 0); // retires at 10
+        assert_eq!(pool.allocate(0, 20), 0); // retires at 20
+        // Third miss at t=5 must wait until t=10.
+        assert_eq!(pool.allocate(5, 30), 5);
+    }
+
+    #[test]
+    fn retired_entries_free_up() {
+        let mut pool = MshrPool::new(1);
+        assert_eq!(pool.allocate(0, 10), 0);
+        // At t=11 the entry has retired.
+        assert_eq!(pool.allocate(11, 10), 0);
+        assert_eq!(pool.occupancy(11), 1);
+    }
+
+    #[test]
+    fn occupancy_prunes() {
+        let mut pool = MshrPool::new(8);
+        pool.allocate(0, 5);
+        pool.allocate(0, 50);
+        assert_eq!(pool.occupancy(10), 1);
+        assert_eq!(pool.occupancy(100), 0);
+    }
+}

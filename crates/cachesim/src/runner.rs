@@ -1,0 +1,150 @@
+//! High-level experiment drivers: the Figure 5 IPC-loss matrix and the
+//! Figure 6 access-mix panels.
+
+use crate::{
+    ipc_loss_percent, run_sim, AccessMix, ProtectionPolicy, SimStats, SystemConfig,
+    WorkloadProfile,
+};
+
+/// Default measurement window (cycles); the paper samples 50k-cycle
+/// windows after warming.
+pub const DEFAULT_CYCLES: u64 = 50_000;
+
+/// IPC losses of one workload under the four Figure 5 configurations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig5Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// L1 D-cache protection only.
+    pub l1_only: f64,
+    /// L1 D-cache protection with port stealing.
+    pub l1_steal: f64,
+    /// L2 protection only.
+    pub l2_only: f64,
+    /// L1 (with stealing) + L2 protection.
+    pub full: f64,
+}
+
+/// Runs the Figure 5 sweep for one system.
+pub fn figure5(config: SystemConfig, cycles: u64, seed: u64) -> Vec<Fig5Row> {
+    WorkloadProfile::paper_set()
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let s = seed + i as u64 * 1000;
+            let base = run_sim(config, ProtectionPolicy::baseline(), w, cycles, s);
+            let mut losses = [0.0f64; 4];
+            for (j, policy) in ProtectionPolicy::figure5_set().iter().enumerate() {
+                let stats = run_sim(config, *policy, w, cycles, s);
+                losses[j] = ipc_loss_percent(&base, &stats);
+            }
+            Fig5Row {
+                workload: w.name,
+                l1_only: losses[0],
+                l1_steal: losses[1],
+                l2_only: losses[2],
+                full: losses[3],
+            }
+        })
+        .collect()
+}
+
+/// Column-wise averages of a Figure 5 sweep (the "Average" cluster).
+pub fn figure5_average(rows: &[Fig5Row]) -> Fig5Row {
+    let n = rows.len().max(1) as f64;
+    Fig5Row {
+        workload: "Average",
+        l1_only: rows.iter().map(|r| r.l1_only).sum::<f64>() / n,
+        l1_steal: rows.iter().map(|r| r.l1_steal).sum::<f64>() / n,
+        l2_only: rows.iter().map(|r| r.l2_only).sum::<f64>() / n,
+        full: rows.iter().map(|r| r.full).sum::<f64>() / n,
+    }
+}
+
+/// One workload's Figure 6 data: L1 and L2 access mixes per 100 cycles
+/// under full 2D protection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig6Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// L1 D-cache accesses per 100 cycles per core.
+    pub l1: AccessMix,
+    /// Shared-L2 accesses per 100 cycles.
+    pub l2: AccessMix,
+}
+
+/// Runs the Figure 6 access-mix measurement for one system.
+pub fn figure6(config: SystemConfig, cycles: u64, seed: u64) -> Vec<Fig6Row> {
+    WorkloadProfile::paper_set()
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let s = seed + i as u64 * 1000;
+            let stats: SimStats = run_sim(config, ProtectionPolicy::full(), w, cycles, s);
+            Fig6Row {
+                workload: w.name,
+                l1: stats.l1_mix_per_100_cycles(config.cores),
+                l2: stats.l2_mix_per_100_cycles(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CYCLES: u64 = 20_000;
+
+    #[test]
+    fn figure5_has_six_workloads() {
+        let rows = figure5(SystemConfig::fat_cmp(), CYCLES, 1);
+        assert_eq!(rows.len(), 6);
+        let names: Vec<&str> = rows.iter().map(|r| r.workload).collect();
+        assert_eq!(names, vec!["OLTP", "DSS", "Web", "Moldyn", "Ocean", "Sparse"]);
+    }
+
+    #[test]
+    fn fat_average_loss_modest() {
+        // Paper: 2.9% average for the full config on the fat CMP. Accept
+        // the same ballpark (well under 10%).
+        let rows = figure5(SystemConfig::fat_cmp(), CYCLES, 2);
+        let avg = figure5_average(&rows);
+        assert!(avg.full > 0.0, "full protection should cost something");
+        assert!(avg.full < 10.0, "avg full loss {avg:?} too high");
+    }
+
+    #[test]
+    fn lean_average_loss_below_fat() {
+        // Paper: lean 1.8% vs fat 2.9% for full protection.
+        let fat = figure5_average(&figure5(SystemConfig::fat_cmp(), CYCLES, 3));
+        let lean = figure5_average(&figure5(SystemConfig::lean_cmp(), CYCLES, 3));
+        assert!(
+            lean.l1_steal <= fat.l1_steal + 1.0,
+            "lean L1 loss should not exceed fat by much: {lean:?} vs {fat:?}"
+        );
+    }
+
+    #[test]
+    fn stealing_no_worse_than_not() {
+        let rows = figure5(SystemConfig::fat_cmp(), CYCLES, 4);
+        let avg = figure5_average(&rows);
+        assert!(
+            avg.l1_steal <= avg.l1_only + 0.5,
+            "stealing should help on average: {avg:?}"
+        );
+    }
+
+    #[test]
+    fn figure6_mixes_have_extra_reads() {
+        let rows = figure6(SystemConfig::fat_cmp(), CYCLES, 5);
+        for r in &rows {
+            assert!(r.l1.total() > 0.0);
+            assert!(r.l1.extra_2d > 0.0, "{}: no extra reads", r.workload);
+            assert!(r.l2.extra_2d >= 0.0);
+            // The paper reports ~20% extra accesses from 2D coding.
+            let frac = r.l1.extra_2d / r.l1.total();
+            assert!(frac < 0.5, "{}: extra fraction {frac}", r.workload);
+        }
+    }
+}

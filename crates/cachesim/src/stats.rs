@@ -1,0 +1,179 @@
+//! Simulation statistics: committed instructions, cycles, and the cache
+//! access mixes that Figure 6 reports per 100 cycles.
+
+/// Categories of cache accesses, matching the Figure 6 legend.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AccessMix {
+    /// Instruction-fetch reads (L1 panels only).
+    pub read_inst: f64,
+    /// Data reads (loads / fill reads from L1 misses).
+    pub read_data: f64,
+    /// Writes (stores / writebacks).
+    pub write: f64,
+    /// Fills and evictions (refills from the next level, dirty evictions).
+    pub fill_evict: f64,
+    /// Extra reads added by 2D coding (read-before-write).
+    pub extra_2d: f64,
+}
+
+impl AccessMix {
+    /// Sum of all categories.
+    pub fn total(&self) -> f64 {
+        self.read_inst + self.read_data + self.write + self.fill_evict + self.extra_2d
+    }
+
+    /// Scales every category by `factor` (e.g. to per-100-cycle units).
+    pub fn scaled(&self, factor: f64) -> AccessMix {
+        AccessMix {
+            read_inst: self.read_inst * factor,
+            read_data: self.read_data * factor,
+            write: self.write * factor,
+            fill_evict: self.fill_evict * factor,
+            extra_2d: self.extra_2d * factor,
+        }
+    }
+}
+
+/// Raw counters accumulated over a simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Total user instructions committed (all cores/threads).
+    pub instructions: u64,
+    /// L1D accesses by category (absolute counts, summed over cores).
+    pub l1_read_inst: u64,
+    /// L1D data-read accesses.
+    pub l1_read_data: u64,
+    /// L1D write accesses (store drains + fill writes).
+    pub l1_write: u64,
+    /// L1 fill/evict accesses.
+    pub l1_fill_evict: u64,
+    /// L1 extra 2D reads issued.
+    pub l1_extra_2d: u64,
+    /// Cycles where an extra 2D read was deferred by port stealing.
+    pub l1_steals: u64,
+    /// L2 data reads (fills for L1 misses).
+    pub l2_read_data: u64,
+    /// L2 writes (writebacks / dirty evictions).
+    pub l2_write: u64,
+    /// L2 fill/evict traffic (memory refills, L2 evictions).
+    pub l2_fill_evict: u64,
+    /// L2 extra 2D reads.
+    pub l2_extra_2d: u64,
+    /// Total L1 port-conflict stall cycles (all cores).
+    pub l1_port_stalls: u64,
+    /// Total L2 bank queueing cycles observed by requests.
+    pub l2_bank_wait: u64,
+    /// Total cycles misses waited for a free MSHR.
+    pub mshr_wait: u64,
+}
+
+impl SimStats {
+    /// Aggregate IPC across the whole system.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 access mix per 100 cycles *per core* (Fig. 6(a)/(b) units).
+    pub fn l1_mix_per_100_cycles(&self, cores: usize) -> AccessMix {
+        let norm = 100.0 / (self.cycles.max(1) as f64) / cores as f64;
+        AccessMix {
+            read_inst: self.l1_read_inst as f64,
+            read_data: self.l1_read_data as f64,
+            write: self.l1_write as f64,
+            fill_evict: self.l1_fill_evict as f64,
+            extra_2d: self.l1_extra_2d as f64,
+        }
+        .scaled(norm)
+    }
+
+    /// L2 access mix per 100 cycles for the shared cache (Fig. 6(c)/(d)).
+    pub fn l2_mix_per_100_cycles(&self) -> AccessMix {
+        let norm = 100.0 / (self.cycles.max(1) as f64);
+        AccessMix {
+            read_inst: 0.0,
+            read_data: self.l2_read_data as f64,
+            write: self.l2_write as f64,
+            fill_evict: self.l2_fill_evict as f64,
+            extra_2d: self.l2_extra_2d as f64,
+        }
+        .scaled(norm)
+    }
+}
+
+/// Relative performance loss of a protected run vs its baseline.
+pub fn ipc_loss_percent(baseline: &SimStats, protected: &SimStats) -> f64 {
+    let base = baseline.ipc();
+    if base == 0.0 {
+        0.0
+    } else {
+        ((base - protected.ipc()) / base * 100.0).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_loss() {
+        let base = SimStats {
+            cycles: 1000,
+            instructions: 2000,
+            ..Default::default()
+        };
+        let prot = SimStats {
+            cycles: 1000,
+            instructions: 1940,
+            ..Default::default()
+        };
+        assert!((base.ipc() - 2.0).abs() < 1e-12);
+        assert!((ipc_loss_percent(&base, &prot) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_clamped_at_zero() {
+        let base = SimStats {
+            cycles: 100,
+            instructions: 100,
+            ..Default::default()
+        };
+        let better = SimStats {
+            cycles: 100,
+            instructions: 110,
+            ..Default::default()
+        };
+        assert_eq!(ipc_loss_percent(&base, &better), 0.0);
+    }
+
+    #[test]
+    fn mixes_scale_to_per_100_cycles() {
+        let stats = SimStats {
+            cycles: 1000,
+            l1_read_data: 4000, // 4 cores -> 100 per 100 cycles per core
+            l2_write: 50,
+            ..Default::default()
+        };
+        let l1 = stats.l1_mix_per_100_cycles(4);
+        assert!((l1.read_data - 100.0).abs() < 1e-9);
+        let l2 = stats.l2_mix_per_100_cycles();
+        assert!((l2.write - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_total_sums_categories() {
+        let mix = AccessMix {
+            read_inst: 1.0,
+            read_data: 2.0,
+            write: 3.0,
+            fill_evict: 4.0,
+            extra_2d: 5.0,
+        };
+        assert!((mix.total() - 15.0).abs() < 1e-12);
+    }
+}

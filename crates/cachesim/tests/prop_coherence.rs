@@ -1,0 +1,87 @@
+//! Property tests for the MESI directory: protocol invariants must hold
+//! under arbitrary interleavings of reads, writes, and evictions.
+
+use cachesim::coherence::{Directory, Mesi};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Read(usize, u64),
+    Write(usize, u64),
+    Evict(usize, u64),
+}
+
+fn op_strategy(cores: usize, lines: u64) -> impl Strategy<Value = Op> {
+    (0..3u8, 0..cores, 0..lines).prop_map(|(kind, core, line)| match kind {
+        0 => Op::Read(core, line),
+        1 => Op::Write(core, line),
+        _ => Op::Evict(core, line),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single-writer/multiple-reader holds after every step.
+    #[test]
+    fn swmr_always_holds(ops in proptest::collection::vec(op_strategy(4, 16), 1..300)) {
+        let mut d = Directory::new();
+        for op in ops {
+            match op {
+                Op::Read(c, l) => { d.read(c, l); }
+                Op::Write(c, l) => { d.write(c, l); }
+                Op::Evict(c, l) => { d.evict(c, l); }
+            }
+            prop_assert!(d.swmr_holds());
+        }
+    }
+
+    /// A writer always ends in Modified; a reader never ends Invalid.
+    #[test]
+    fn requests_grant_permissions(ops in proptest::collection::vec(op_strategy(4, 16), 1..200)) {
+        let mut d = Directory::new();
+        for op in ops {
+            match op {
+                Op::Read(c, l) => {
+                    d.read(c, l);
+                    prop_assert_ne!(d.state(c, l), Mesi::Invalid);
+                }
+                Op::Write(c, l) => {
+                    d.write(c, l);
+                    prop_assert_eq!(d.state(c, l), Mesi::Modified);
+                }
+                Op::Evict(c, l) => {
+                    d.evict(c, l);
+                    prop_assert_eq!(d.state(c, l), Mesi::Invalid);
+                }
+            }
+        }
+    }
+
+    /// Dirty transfers only happen when some peer actually wrote.
+    #[test]
+    fn no_dirty_transfers_in_read_only_traffic(
+        ops in proptest::collection::vec((0usize..4, 0u64..16), 1..200),
+    ) {
+        let mut d = Directory::new();
+        for (core, line) in ops {
+            let out = d.read(core, line);
+            prop_assert!(!out.dirty_transfer);
+        }
+        prop_assert_eq!(d.dirty_transfers, 0);
+    }
+
+    /// Invalidation messages never exceed the number of other cores.
+    #[test]
+    fn invalidations_bounded_by_peers(ops in proptest::collection::vec(op_strategy(4, 8), 1..200)) {
+        let mut d = Directory::new();
+        for op in ops {
+            if let Op::Write(c, l) = op {
+                let out = d.write(c, l);
+                prop_assert!(out.invalidations <= 3);
+            } else if let Op::Read(c, l) = op {
+                d.read(c, l);
+            }
+        }
+    }
+}

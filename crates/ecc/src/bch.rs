@@ -1,0 +1,527 @@
+//! Binary BCH codes with an extended (overall) parity bit, used to model
+//! the paper's conventional multi-bit ECC baselines:
+//!
+//! | name    | corrects | detects | 64-bit word | 256-bit word |
+//! |---------|----------|---------|-------------|--------------|
+//! | DECTED  | 2        | 3       | (79,64)     | (275,256)    |
+//! | QECPED  | 4        | 5       | (93,64)     | (293,256)    |
+//! | OECNED  | 8        | 9       | (121,64)    | (329,256)    |
+//!
+//! The codes are shortened primitive BCH codes over GF(2^m) with designed
+//! distance `2t + 1`, extended by one overall parity bit to raise the
+//! minimum distance to `2t + 2` (so `t`-bit errors are corrected and
+//! `(t+1)`-bit errors are detected). Encoding is systematic polynomial
+//! division; decoding computes the `2t` power-sum syndromes, runs
+//! Berlekamp–Massey to find the error-locator polynomial, and locates
+//! errors by Chien search.
+
+use crate::code::{validate_widths, Code, Decoded};
+use crate::gf::Gf2m;
+use crate::Bits;
+
+/// A shortened, extended binary BCH code correcting up to `t` errors.
+///
+/// # Examples
+///
+/// ```
+/// use ecc::{Bch, Code, Decoded, Bits};
+///
+/// // DECTED over 64-bit words: (79,64).
+/// let code = Bch::new(64, 2);
+/// assert_eq!(code.check_bits(), 15);
+///
+/// let data = Bits::from_u64(0xFACE_CAFE_BEEF_F00D, 64);
+/// let check = code.encode(&data);
+/// let mut noisy = data.clone();
+/// noisy.flip(3);
+/// noisy.flip(40);
+/// match code.decode(&noisy, &check) {
+///     Decoded::Corrected { data: fixed, .. } => assert_eq!(fixed, data),
+///     other => panic!("expected correction, got {other:?}"),
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bch {
+    data_bits: usize,
+    t: usize,
+    field: Gf2m,
+    /// Generator polynomial as a bit vector, low-degree coefficient first.
+    generator: Bits,
+    /// Degree of the generator polynomial = BCH parity bits.
+    gen_degree: usize,
+}
+
+impl Bch {
+    /// Creates a `t`-error-correcting extended BCH code over
+    /// `data_bits`-bit words, choosing the smallest field GF(2^m) whose
+    /// shortened code fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`, `data_bits == 0`, or no supported field fits.
+    pub fn new(data_bits: usize, t: usize) -> Self {
+        assert!(t >= 1, "BCH needs t >= 1");
+        assert!(data_bits > 0, "BCH needs a non-empty data word");
+        // Find the smallest m such that k + (parity bits) <= 2^m - 1.
+        for m in 3..=13u32 {
+            let field = Gf2m::new(m);
+            let generator = Self::generator_poly(&field, t);
+            let gen_degree = generator.len() - 1;
+            let n = (1usize << m) - 1;
+            if data_bits + gen_degree <= n {
+                return Bch {
+                    data_bits,
+                    t,
+                    field,
+                    generator,
+                    gen_degree,
+                };
+            }
+        }
+        panic!("no supported GF(2^m) fits data_bits={data_bits}, t={t}");
+    }
+
+    /// The correction capability `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// The underlying field degree m.
+    pub fn field_degree(&self) -> u32 {
+        self.field.degree()
+    }
+
+    /// Number of BCH parity bits (excluding the extended parity bit).
+    pub fn bch_parity_bits(&self) -> usize {
+        self.gen_degree
+    }
+
+    /// Computes g(x) = lcm of minimal polynomials of alpha^1..alpha^{2t},
+    /// returned low-degree-first with a trailing 1 for the leading term.
+    fn generator_poly(field: &Gf2m, t: usize) -> Bits {
+        let order = field.order() as usize;
+        // Collect cyclotomic cosets covering exponents 1..=2t.
+        let mut covered = vec![false; order + 1];
+        // g as coefficient vector over GF(2) (each coeff 0/1), start with g=1.
+        let mut g: Vec<u8> = vec![1];
+        for e in 1..=(2 * t) {
+            let e = e % order;
+            if e == 0 || covered[e] {
+                continue;
+            }
+            // Cyclotomic coset of e: {e, 2e, 4e, ...} mod order.
+            let mut coset = Vec::new();
+            let mut c = e;
+            loop {
+                covered[c] = true;
+                coset.push(c);
+                c = (c * 2) % order;
+                if c == e {
+                    break;
+                }
+            }
+            // Minimal polynomial = prod (x - alpha^c) over the coset,
+            // computed over GF(2^m); coefficients end up in GF(2).
+            let mut min_poly: Vec<u32> = vec![1];
+            for &c in &coset {
+                let root = field.alpha_pow(c as i64);
+                // multiply min_poly by (x + root)
+                let mut next = vec![0u32; min_poly.len() + 1];
+                for (i, &co) in min_poly.iter().enumerate() {
+                    next[i + 1] ^= co; // x * co
+                    next[i] ^= field.mul(co, root);
+                }
+                min_poly = next;
+            }
+            // Every coefficient must be 0 or 1 in GF(2).
+            let min_gf2: Vec<u8> = min_poly
+                .iter()
+                .map(|&c| {
+                    debug_assert!(c <= 1, "minimal polynomial coefficient not in GF(2)");
+                    c as u8
+                })
+                .collect();
+            // g *= min_poly over GF(2).
+            let mut next = vec![0u8; g.len() + min_gf2.len() - 1];
+            for (i, &a) in g.iter().enumerate() {
+                if a == 1 {
+                    for (j, &b) in min_gf2.iter().enumerate() {
+                        next[i + j] ^= b;
+                    }
+                }
+            }
+            g = next;
+        }
+        let mut bits = Bits::zeros(g.len());
+        for (i, &c) in g.iter().enumerate() {
+            if c == 1 {
+                bits.set(i, true);
+            }
+        }
+        bits
+    }
+
+    /// Computes the BCH parity of `data` as the remainder of
+    /// `x^deg(g) * d(x) mod g(x)`.
+    fn bch_remainder(&self, data: &Bits) -> Bits {
+        // Work in a register of gen_degree bits (LFSR division).
+        let mut rem = Bits::zeros(self.gen_degree);
+        // Process data bits from the highest polynomial degree down. We map
+        // data bit i to codeword coefficient (gen_degree + i); feeding
+        // MSB-first performs standard long division.
+        for i in (0..self.data_bits).rev() {
+            let feedback = data.get(i) ^ rem.get(self.gen_degree - 1);
+            // Shift rem left by one.
+            for j in (1..self.gen_degree).rev() {
+                let lower = rem.get(j - 1) ^ (feedback && self.generator.get(j));
+                rem.set(j, lower);
+            }
+            rem.set(0, feedback && self.generator.get(0));
+        }
+        rem
+    }
+
+    /// Power-sum syndromes S_1..S_2t of the stored codeword.
+    ///
+    /// Codeword coefficient layout: positions `0..gen_degree` hold the BCH
+    /// parity (check bits), positions `gen_degree..gen_degree+k` hold data.
+    fn syndromes(&self, data: &Bits, check: &Bits) -> Vec<u32> {
+        let mut s = vec![0u32; 2 * self.t];
+        let add_position = |pos: usize, s: &mut Vec<u32>| {
+            for (j, sj) in s.iter_mut().enumerate() {
+                let e = (pos as i64) * ((j + 1) as i64);
+                *sj ^= self.field.alpha_pow(e);
+            }
+        };
+        for i in data.iter_ones() {
+            add_position(self.gen_degree + i, &mut s);
+        }
+        for i in check.iter_ones() {
+            if i < self.gen_degree {
+                add_position(i, &mut s);
+            }
+        }
+        s
+    }
+
+    /// Berlekamp–Massey: returns the error-locator polynomial sigma
+    /// (low-degree first, sigma[0] == 1).
+    fn berlekamp_massey(&self, s: &[u32]) -> Vec<u32> {
+        let f = &self.field;
+        let mut sigma: Vec<u32> = vec![1];
+        let mut b: Vec<u32> = vec![1];
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut bb = 1u32;
+        for n in 0..s.len() {
+            // discrepancy
+            let mut d = s[n];
+            for i in 1..=l {
+                if i < sigma.len() {
+                    d ^= f.mul(sigma[i], s[n - i]);
+                }
+            }
+            if d == 0 {
+                m += 1;
+            } else if 2 * l <= n {
+                let t_poly = sigma.clone();
+                let coef = f.div(d, bb);
+                // sigma = sigma - coef * x^m * b
+                let needed = m + b.len();
+                if sigma.len() < needed {
+                    sigma.resize(needed, 0);
+                }
+                for (i, &bi) in b.iter().enumerate() {
+                    sigma[i + m] ^= f.mul(coef, bi);
+                }
+                l = n + 1 - l;
+                b = t_poly;
+                bb = d;
+                m = 1;
+            } else {
+                let coef = f.div(d, bb);
+                let needed = m + b.len();
+                if sigma.len() < needed {
+                    sigma.resize(needed, 0);
+                }
+                for (i, &bi) in b.iter().enumerate() {
+                    sigma[i + m] ^= f.mul(coef, bi);
+                }
+                m += 1;
+            }
+        }
+        // Trim trailing zeros.
+        while sigma.len() > 1 && *sigma.last().unwrap() == 0 {
+            sigma.pop();
+        }
+        sigma
+    }
+
+    /// Chien search restricted to the shortened codeword length; returns
+    /// error positions, or `None` if the locator does not factor cleanly.
+    fn chien_search(&self, sigma: &[u32]) -> Option<Vec<usize>> {
+        let degree = sigma.len() - 1;
+        if degree == 0 {
+            return Some(Vec::new());
+        }
+        let n_used = self.gen_degree + self.data_bits;
+        let mut positions = Vec::with_capacity(degree);
+        for pos in 0..n_used {
+            // error locator root test: sigma(alpha^{-pos}) == 0
+            let x = self.field.alpha_pow(-(pos as i64));
+            if self.field.eval_poly(sigma, x) == 0 {
+                positions.push(pos);
+                if positions.len() == degree {
+                    break;
+                }
+            }
+        }
+        if positions.len() == degree {
+            Some(positions)
+        } else {
+            None
+        }
+    }
+}
+
+impl Code for Bch {
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> usize {
+        self.gen_degree + 1 // BCH parity + extended overall parity
+    }
+
+    fn encode(&self, data: &Bits) -> Bits {
+        assert_eq!(data.len(), self.data_bits, "data width mismatch");
+        let rem = self.bch_remainder(data);
+        let overall = data.parity() ^ rem.parity();
+        let mut check = Bits::zeros(self.check_bits());
+        check.write_slice(0, &rem);
+        check.set(self.gen_degree, overall);
+        check
+    }
+
+    fn decode(&self, data: &Bits, check: &Bits) -> Decoded {
+        validate_widths(self, data, check);
+        let bch_check = check.slice(0, self.gen_degree);
+        let stored_overall = check.get(self.gen_degree);
+        let overall_syndrome =
+            data.parity() ^ bch_check.parity() ^ stored_overall;
+        let s = self.syndromes(data, &bch_check);
+        let all_zero = s.iter().all(|&x| x == 0);
+        if all_zero {
+            if !overall_syndrome {
+                return Decoded::Clean;
+            }
+            // Only the extended parity bit itself is flipped.
+            return Decoded::Corrected {
+                data: data.clone(),
+                flipped: vec![self.data_bits + self.gen_degree],
+            };
+        }
+        let sigma = self.berlekamp_massey(&s);
+        let nu = sigma.len() - 1;
+        if nu > self.t {
+            return Decoded::Detected;
+        }
+        let Some(positions) = self.chien_search(&sigma) else {
+            return Decoded::Detected;
+        };
+        // Extended parity consistency: the number of in-codeword flips plus
+        // a possible extended-bit flip must match the overall parity.
+        let pattern_parity = positions.len() % 2 == 1;
+        let extended_bit_flipped = pattern_parity != overall_syndrome;
+        // Apply the correction.
+        let mut fixed = data.clone();
+        let mut flipped = Vec::with_capacity(positions.len() + 1);
+        for &pos in &positions {
+            if pos >= self.gen_degree {
+                let data_idx = pos - self.gen_degree;
+                fixed.flip(data_idx);
+                flipped.push(data_idx);
+            } else {
+                flipped.push(self.data_bits + pos);
+            }
+        }
+        if extended_bit_flipped {
+            // The pattern + extended bit exceeds t total flips only when
+            // nu == t; in that case the error weight is t+1: detect.
+            if nu == self.t {
+                return Decoded::Detected;
+            }
+            flipped.push(self.data_bits + self.gen_degree);
+        }
+        flipped.sort_unstable();
+        Decoded::Corrected { data: fixed, flipped }
+    }
+
+    fn correctable(&self) -> usize {
+        self.t
+    }
+
+    fn detectable(&self) -> usize {
+        self.t + 1
+    }
+
+    fn name(&self) -> String {
+        let label = match self.t {
+            2 => "DECTED".to_string(),
+            4 => "QECPED".to_string(),
+            8 => "OECNED".to_string(),
+            t => format!("BCH-t{t}"),
+        };
+        format!("{label}({},{})", self.codeword_bits(), self.data_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        // The check-bit counts the paper derives from Hamming distance:
+        // DECTED 15, QECPED 29, OECNED 57 for 64-bit words (m=7).
+        assert_eq!(Bch::new(64, 2).check_bits(), 15);
+        assert_eq!(Bch::new(64, 4).check_bits(), 29);
+        assert_eq!(Bch::new(64, 8).check_bits(), 57);
+        assert_eq!(Bch::new(64, 8).name(), "OECNED(121,64)");
+        // 256-bit words use m=9: 19, 37, 73.
+        assert_eq!(Bch::new(256, 2).check_bits(), 19);
+        assert_eq!(Bch::new(256, 4).check_bits(), 37);
+        assert_eq!(Bch::new(256, 8).check_bits(), 73);
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        for t in [2usize, 4, 8] {
+            let code = Bch::new(64, t);
+            let data = Bits::from_u64(0x0123_4567_89AB_CDEF, 64);
+            let check = code.encode(&data);
+            assert_eq!(code.decode(&data, &check), Decoded::Clean, "t={t}");
+        }
+    }
+
+    #[test]
+    fn corrects_t_spread_errors() {
+        let code = Bch::new(64, 2);
+        let data = Bits::from_u64(0xDEAD_BEEF_1234_5678, 64);
+        let check = code.encode(&data);
+        let mut noisy = data.clone();
+        noisy.flip(0);
+        noisy.flip(63);
+        match code.decode(&noisy, &check) {
+            Decoded::Corrected { data: fixed, flipped } => {
+                assert_eq!(fixed, data);
+                assert_eq!(flipped, vec![0, 63]);
+            }
+            other => panic!("expected correction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrects_errors_in_check_bits() {
+        let code = Bch::new(64, 2);
+        let data = Bits::from_u64(7, 64);
+        let mut check = code.encode(&data);
+        check.flip(0);
+        check.flip(5);
+        match code.decode(&data, &check) {
+            Decoded::Corrected { data: fixed, flipped } => {
+                assert_eq!(fixed, data);
+                assert_eq!(flipped, vec![64, 69]);
+            }
+            other => panic!("expected correction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrects_mixed_data_and_check() {
+        let code = Bch::new(64, 4);
+        let data = Bits::from_u64(u64::MAX, 64);
+        let check = code.encode(&data);
+        let mut noisy = data.clone();
+        noisy.flip(10);
+        noisy.flip(20);
+        noisy.flip(30);
+        let mut noisy_check = check.clone();
+        noisy_check.flip(2);
+        match code.decode(&noisy, &noisy_check) {
+            Decoded::Corrected { data: fixed, .. } => assert_eq!(fixed, data),
+            other => panic!("expected correction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_t_plus_one_burst() {
+        for t in [2usize, 4] {
+            let code = Bch::new(64, t);
+            let data = Bits::from_u64(0x1357_9BDF_2468_ACE0, 64);
+            let check = code.encode(&data);
+            let mut noisy = data.clone();
+            for i in 0..=t {
+                noisy.flip(i);
+            }
+            let outcome = code.decode(&noisy, &check);
+            assert_eq!(outcome, Decoded::Detected, "t={t}");
+        }
+    }
+
+    #[test]
+    fn extended_parity_bit_error_corrected() {
+        let code = Bch::new(64, 2);
+        let data = Bits::from_u64(99, 64);
+        let mut check = code.encode(&data);
+        let ext = code.check_bits() - 1;
+        check.flip(ext);
+        match code.decode(&data, &check) {
+            Decoded::Corrected { data: fixed, flipped } => {
+                assert_eq!(fixed, data);
+                assert_eq!(flipped, vec![64 + ext]);
+            }
+            other => panic!("expected correction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oecned_corrects_eight_errors() {
+        let code = Bch::new(64, 8);
+        let data = Bits::from_u64(0xFEDC_BA98_7654_3210, 64);
+        let check = code.encode(&data);
+        let mut noisy = data.clone();
+        for &i in &[1, 9, 17, 25, 33, 41, 49, 57] {
+            noisy.flip(i);
+        }
+        match code.decode(&noisy, &check) {
+            Decoded::Corrected { data: fixed, .. } => assert_eq!(fixed, data),
+            other => panic!("expected correction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_word_roundtrip() {
+        let code = Bch::new(256, 2);
+        let data = Bits::from_positions(256, &[0, 128, 255]);
+        let check = code.encode(&data);
+        let mut noisy = data.clone();
+        noisy.flip(200);
+        noisy.flip(201);
+        match code.decode(&noisy, &check) {
+            Decoded::Corrected { data: fixed, .. } => assert_eq!(fixed, data),
+            other => panic!("expected correction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generator_divides_encoded_words() {
+        // Any valid codeword polynomial evaluates to zero at alpha^1..2t.
+        let code = Bch::new(64, 2);
+        let data = Bits::from_u64(0xABCD_EF01_2345_6789, 64);
+        let check = code.encode(&data);
+        let bch_check = check.slice(0, code.bch_parity_bits());
+        let s = code.syndromes(&data, &bch_check);
+        assert!(s.iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,400 @@
+//! A compact, dynamically sized bit vector used for data words, check
+//! words, and whole memory rows throughout the workspace.
+//!
+//! Memory-protection codes operate on words from 8 bits (tag fragments) to
+//! 256 bits (L2 words) and on rows of thousands of bits, so a fixed-width
+//! integer is not enough. [`Bits`] stores bits in little-endian order within
+//! `u64` limbs: bit `i` lives in limb `i / 64` at position `i % 64`.
+
+use std::fmt;
+
+/// A fixed-length sequence of bits with cheap XOR, popcount, and slicing.
+///
+/// # Examples
+///
+/// ```
+/// use ecc::Bits;
+///
+/// let mut w = Bits::zeros(72);
+/// w.set(3, true);
+/// w.set(71, true);
+/// assert_eq!(w.count_ones(), 2);
+/// assert!(w.get(3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    limbs: Vec<u64>,
+    len: usize,
+}
+
+impl Bits {
+    /// Creates an all-zero bit vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Bits {
+            limbs: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates an all-one bit vector of length `len`.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bits {
+            limbs: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Builds a bit vector from a `u64`, truncated or zero-extended to `len`.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        let mut b = Bits::zeros(len);
+        if !b.limbs.is_empty() {
+            b.limbs[0] = value;
+        }
+        b.mask_tail();
+        b
+    }
+
+    /// Builds a bit vector from a little-endian limb slice, truncated or
+    /// zero-extended to `len`.
+    pub fn from_limbs(limbs: &[u64], len: usize) -> Self {
+        let mut v = limbs.to_vec();
+        v.resize(len.div_ceil(64), 0);
+        let mut b = Bits { limbs: v, len };
+        b.mask_tail();
+        b
+    }
+
+    /// Builds a bit vector of length `len` with ones at `positions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of bounds.
+    pub fn from_positions(len: usize, positions: &[usize]) -> Self {
+        let mut b = Bits::zeros(len);
+        for &p in positions {
+            b.set(p, true);
+        }
+        b
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.limbs[i / 64] |= mask;
+        } else {
+            self.limbs[i / 64] &= !mask;
+        }
+    }
+
+    /// Inverts bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.limbs[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// XORs `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_assign(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "length mismatch in xor");
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a ^= *b;
+        }
+    }
+
+    /// Returns `self ^ other` without mutating either operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor(&self, other: &Bits) -> Bits {
+        let mut out = self.clone();
+        out.xor_assign(other);
+        out
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// Whether every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Overall (even) parity of the vector: `true` when an odd number of
+    /// bits are set.
+    pub fn parity(&self) -> bool {
+        self.count_ones() % 2 == 1
+    }
+
+    /// Iterator over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            bits: self,
+            limb_idx: 0,
+            current: self.limbs.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Copies `count` bits starting at `start` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, count: usize) -> Bits {
+        assert!(start + count <= self.len, "slice out of range");
+        let mut out = Bits::zeros(count);
+        for i in 0..count {
+            if self.get(start + i) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Overwrites `count` bits starting at `start` from `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges are out of bounds.
+    pub fn write_slice(&mut self, start: usize, src: &Bits) {
+        assert!(start + src.len() <= self.len, "write_slice out of range");
+        for i in 0..src.len() {
+            self.set(start + i, src.get(i));
+        }
+    }
+
+    /// Concatenates `self` followed by `other`.
+    pub fn concat(&self, other: &Bits) -> Bits {
+        let mut out = Bits::zeros(self.len + other.len);
+        out.write_slice(0, self);
+        out.write_slice(self.len, other);
+        out
+    }
+
+    /// Interprets the low 64 bits as a `u64` (higher bits ignored).
+    pub fn to_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Access to the raw limbs (little-endian).
+    pub fn as_limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    fn mask_tail(&mut self) {
+        let used = self.len % 64;
+        if used != 0 {
+            if let Some(last) = self.limbs.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.limbs.clear();
+        }
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits[{}; ones=", self.len)?;
+        let ones: Vec<usize> = self.iter_ones().collect();
+        write!(f, "{ones:?}]")
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.len).rev() {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(self, f)
+    }
+}
+
+/// Iterator over set-bit indices produced by [`Bits::iter_ones`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    bits: &'a Bits,
+    limb_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.limb_idx * 64 + tz);
+            }
+            self.limb_idx += 1;
+            if self.limb_idx >= self.bits.limbs.len() {
+                return None;
+            }
+            self.current = self.bits.limbs[self.limb_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let b = Bits::zeros(130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.is_zero());
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let b = Bits::zeros(0);
+        assert!(b.is_empty());
+        assert!(b.is_zero());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn set_get_flip() {
+        let mut b = Bits::zeros(100);
+        b.set(0, true);
+        b.set(63, true);
+        b.set(64, true);
+        b.set(99, true);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(99));
+        assert_eq!(b.count_ones(), 4);
+        b.flip(63);
+        assert!(!b.get(63));
+        assert_eq!(b.count_ones(), 3);
+        b.set(0, false);
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn ones_masks_tail() {
+        let b = Bits::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        assert_eq!(b.as_limbs().len(), 2);
+        assert_eq!(b.as_limbs()[1], (1u64 << 6) - 1);
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        let b = Bits::from_u64(0xFF, 4);
+        assert_eq!(b.count_ones(), 4);
+        assert_eq!(b.to_u64(), 0xF);
+    }
+
+    #[test]
+    fn xor_roundtrip() {
+        let a = Bits::from_u64(0b1010, 8);
+        let b = Bits::from_u64(0b0110, 8);
+        let c = a.xor(&b);
+        assert_eq!(c.to_u64(), 0b1100);
+        assert_eq!(c.xor(&b).to_u64(), 0b1010);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_length_mismatch_panics() {
+        let mut a = Bits::zeros(8);
+        a.xor_assign(&Bits::zeros(9));
+    }
+
+    #[test]
+    fn iter_ones_order() {
+        let b = Bits::from_positions(200, &[5, 64, 70, 199]);
+        let ones: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(ones, vec![5, 64, 70, 199]);
+    }
+
+    #[test]
+    fn parity_matches_popcount() {
+        let b = Bits::from_positions(64, &[1, 2, 3]);
+        assert!(b.parity());
+        let b = Bits::from_positions(64, &[1, 2, 3, 4]);
+        assert!(!b.parity());
+    }
+
+    #[test]
+    fn slice_and_write_slice() {
+        let b = Bits::from_positions(32, &[0, 8, 9, 31]);
+        let s = b.slice(8, 8);
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+        let mut c = Bits::zeros(32);
+        c.write_slice(8, &s);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![8, 9]);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = Bits::from_positions(3, &[0]);
+        let b = Bits::from_positions(3, &[2]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![0, 5]);
+    }
+
+    #[test]
+    fn binary_format_msb_first() {
+        let b = Bits::from_u64(0b101, 4);
+        assert_eq!(format!("{b:b}"), "0101");
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let b = Bits::zeros(4);
+        assert!(!format!("{b:?}").is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! The common interface implemented by every memory-protection code in this
+//! crate, together with the decode outcome type shared by all of them.
+
+use crate::Bits;
+
+/// Result of checking a stored `(data, check)` pair against a code.
+///
+/// Positions in [`Decoded::Corrected`] index the *codeword*: positions
+/// `0..data_bits` are data bits and positions `data_bits..` are check bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decoded {
+    /// No error detected.
+    Clean,
+    /// Errors were located and corrected.
+    Corrected {
+        /// The corrected data word (check bits are re-derivable).
+        data: Bits,
+        /// Codeword positions that were flipped to correct the word.
+        flipped: Vec<usize>,
+    },
+    /// An error was detected that the code cannot correct.
+    Detected,
+}
+
+impl Decoded {
+    /// Whether the outcome is [`Decoded::Clean`].
+    pub fn is_clean(&self) -> bool {
+        matches!(self, Decoded::Clean)
+    }
+
+    /// Whether the outcome is [`Decoded::Detected`] (uncorrectable).
+    pub fn is_detected_uncorrectable(&self) -> bool {
+        matches!(self, Decoded::Detected)
+    }
+
+    /// The usable data word after decoding: the original on
+    /// [`Decoded::Clean`], the corrected word on [`Decoded::Corrected`],
+    /// and `None` when the error is uncorrectable.
+    pub fn data<'a>(&'a self, original: &'a Bits) -> Option<&'a Bits> {
+        match self {
+            Decoded::Clean => Some(original),
+            Decoded::Corrected { data, .. } => Some(data),
+            Decoded::Detected => None,
+        }
+    }
+}
+
+/// A systematic block code over a fixed-width data word.
+///
+/// Implementations are *systematic*: the stored codeword is the data word
+/// followed by [`Code::check_bits`] check bits produced by [`Code::encode`].
+///
+/// # Examples
+///
+/// ```
+/// use ecc::{Code, Decoded, Secded, Bits};
+///
+/// let code = Secded::new(64);
+/// let data = Bits::from_u64(0xDEAD_BEEF_0123_4567, 64);
+/// let check = code.encode(&data);
+///
+/// // Flip one data bit: SECDED corrects it.
+/// let mut noisy = data.clone();
+/// noisy.flip(17);
+/// match code.decode(&noisy, &check) {
+///     Decoded::Corrected { data: fixed, flipped } => {
+///         assert_eq!(fixed, data);
+///         assert_eq!(flipped, vec![17]);
+///     }
+///     other => panic!("expected correction, got {other:?}"),
+/// }
+/// ```
+pub trait Code {
+    /// Width of the data word this instance protects.
+    fn data_bits(&self) -> usize;
+
+    /// Number of stored check bits.
+    fn check_bits(&self) -> usize;
+
+    /// Computes the check bits for `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.data_bits()`.
+    fn encode(&self, data: &Bits) -> Bits;
+
+    /// Checks a stored pair and attempts correction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` or `check` have the wrong width.
+    fn decode(&self, data: &Bits, check: &Bits) -> Decoded;
+
+    /// Maximum number of random bit errors the code is guaranteed to
+    /// correct (0 for detection-only codes).
+    fn correctable(&self) -> usize;
+
+    /// Maximum number of random bit errors the code is guaranteed to
+    /// detect (without miscorrection).
+    fn detectable(&self) -> usize;
+
+    /// Length of a contiguous error burst within the codeword that the code
+    /// is guaranteed to at least detect.
+    fn burst_detectable(&self) -> usize {
+        self.detectable()
+    }
+
+    /// Human-readable name, e.g. `"SECDED(72,64)"`.
+    fn name(&self) -> String;
+
+    /// Total codeword width.
+    fn codeword_bits(&self) -> usize {
+        self.data_bits() + self.check_bits()
+    }
+
+    /// Storage overhead: check bits relative to data bits.
+    fn storage_overhead(&self) -> f64 {
+        self.check_bits() as f64 / self.data_bits() as f64
+    }
+}
+
+/// Checks dimensions shared by all `decode` implementations.
+pub(crate) fn validate_widths(code: &dyn Code, data: &Bits, check: &Bits) {
+    assert_eq!(
+        data.len(),
+        code.data_bits(),
+        "data width {} does not match code {}",
+        data.len(),
+        code.name()
+    );
+    assert_eq!(
+        check.len(),
+        code.check_bits(),
+        "check width {} does not match code {}",
+        check.len(),
+        code.name()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoded_accessors() {
+        let original = Bits::from_u64(5, 8);
+        assert!(Decoded::Clean.is_clean());
+        assert!(Decoded::Detected.is_detected_uncorrectable());
+        assert_eq!(Decoded::Clean.data(&original), Some(&original));
+        assert_eq!(Decoded::Detected.data(&original), None);
+        let fixed = Bits::from_u64(7, 8);
+        let d = Decoded::Corrected {
+            data: fixed.clone(),
+            flipped: vec![1],
+        };
+        assert_eq!(d.data(&original), Some(&fixed));
+    }
+}

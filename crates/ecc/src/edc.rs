@@ -1,0 +1,216 @@
+//! Interleaved-parity error *detection* codes (`EDCn`).
+//!
+//! `EDCn` stores `n` check bits per word; check bit `i` is the parity of
+//! every `n`-th data bit starting at `i`:
+//!
+//! ```text
+//! parity_bit[i] = data[i] ^ data[i + n] ^ data[i + 2n] ^ ...
+//! ```
+//!
+//! Because a contiguous burst of at most `n` bit flips touches each parity
+//! group at most once, every such burst flips at least one group's parity
+//! and is therefore detected. The paper uses `EDC8` as the horizontal code
+//! of its timing-critical L1 configuration (same latency class as byte
+//! parity) and `EDC16` for 256-bit L2 words; the *vertical* `EDC32` code is
+//! the same construction applied across rows (see the `memarray` crate).
+
+use crate::code::{validate_widths, Code, Decoded};
+use crate::Bits;
+
+/// `n`-way interleaved parity over a `k`-bit data word.
+///
+/// Detection-only: [`Code::decode`] never returns [`Decoded::Corrected`].
+///
+/// # Examples
+///
+/// ```
+/// use ecc::{Code, Decoded, Edc, Bits};
+///
+/// let edc8 = Edc::new(64, 8);
+/// let data = Bits::from_u64(0x0123_4567_89AB_CDEF, 64);
+/// let check = edc8.encode(&data);
+/// assert_eq!(check.len(), 8);
+///
+/// // Any burst of <= 8 contiguous flips is detected.
+/// let mut noisy = data.clone();
+/// for i in 20..28 {
+///     noisy.flip(i);
+/// }
+/// assert_eq!(edc8.decode(&noisy, &check), Decoded::Detected);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edc {
+    data_bits: usize,
+    groups: usize,
+}
+
+impl Edc {
+    /// Creates an `EDCn` code with `groups = n` parity groups over
+    /// `data_bits`-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups == 0` or `data_bits == 0`.
+    pub fn new(data_bits: usize, groups: usize) -> Self {
+        assert!(groups > 0, "EDC needs at least one parity group");
+        assert!(data_bits > 0, "EDC needs a non-empty data word");
+        Edc { data_bits, groups }
+    }
+
+    /// The interleaving depth `n` (number of parity groups).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Recomputes the syndrome (stored check XOR recomputed check).
+    pub fn syndrome(&self, data: &Bits, check: &Bits) -> Bits {
+        self.encode(data).xor(check)
+    }
+
+    /// Parity-group membership of data bit `i`.
+    pub fn group_of(&self, bit: usize) -> usize {
+        bit % self.groups
+    }
+}
+
+impl Code for Edc {
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> usize {
+        self.groups
+    }
+
+    fn encode(&self, data: &Bits) -> Bits {
+        assert_eq!(data.len(), self.data_bits, "data width mismatch");
+        let mut check = Bits::zeros(self.groups);
+        for i in data.iter_ones() {
+            check.flip(i % self.groups);
+        }
+        check
+    }
+
+    fn decode(&self, data: &Bits, check: &Bits) -> Decoded {
+        validate_widths(self, data, check);
+        if self.syndrome(data, check).is_zero() {
+            Decoded::Clean
+        } else {
+            Decoded::Detected
+        }
+    }
+
+    fn correctable(&self) -> usize {
+        0
+    }
+
+    fn detectable(&self) -> usize {
+        // A single flip always flips exactly one parity group; two random
+        // flips in the same group cancel, so only 1 random error is
+        // *guaranteed* detected. Burst detection is much stronger.
+        1
+    }
+
+    fn burst_detectable(&self) -> usize {
+        self.groups
+    }
+
+    fn name(&self) -> String {
+        format!("EDC{}({},{})", self.groups, self.codeword_bits(), self.data_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        let edc = Edc::new(64, 8);
+        let data = Bits::from_u64(0xFEED_FACE_CAFE_F00D, 64);
+        let check = edc.encode(&data);
+        assert_eq!(edc.decode(&data, &check), Decoded::Clean);
+    }
+
+    #[test]
+    fn edc8_matches_paper_formula() {
+        // parity_bit[i] = xor(data[i], data[i+8], data[i+16], ...)
+        let edc = Edc::new(64, 8);
+        let data = Bits::from_positions(64, &[0, 8, 16, 3, 11]);
+        let check = edc.encode(&data);
+        // group 0 has 3 members -> parity 1; group 3 has 2 -> parity 0.
+        assert!(check.get(0));
+        assert!(!check.get(3));
+        assert_eq!(check.count_ones(), 1);
+    }
+
+    #[test]
+    fn detects_all_bursts_up_to_n() {
+        let edc = Edc::new(64, 8);
+        let data = Bits::from_u64(0xAAAA_5555_FFFF_0000, 64);
+        let check = edc.encode(&data);
+        for start in 0..64 {
+            for len in 1..=8 {
+                if start + len > 64 {
+                    continue;
+                }
+                let mut noisy = data.clone();
+                for i in start..start + len {
+                    noisy.flip(i);
+                }
+                assert_eq!(
+                    edc.decode(&noisy, &check),
+                    Decoded::Detected,
+                    "burst start={start} len={len} missed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn misses_aligned_double_flip() {
+        // Two flips n apart land in the same parity group and cancel —
+        // this is the documented coverage limit of interleaved parity.
+        let edc = Edc::new(64, 8);
+        let data = Bits::zeros(64);
+        let check = edc.encode(&data);
+        let mut noisy = data.clone();
+        noisy.flip(4);
+        noisy.flip(12);
+        assert_eq!(edc.decode(&noisy, &check), Decoded::Clean);
+    }
+
+    #[test]
+    fn detects_check_bit_corruption() {
+        let edc = Edc::new(64, 8);
+        let data = Bits::from_u64(1, 64);
+        let mut check = edc.encode(&data);
+        check.flip(5);
+        assert_eq!(edc.decode(&data, &check), Decoded::Detected);
+    }
+
+    #[test]
+    fn name_and_overhead() {
+        let edc = Edc::new(64, 8);
+        assert_eq!(edc.name(), "EDC8(72,64)");
+        assert!((edc.storage_overhead() - 0.125).abs() < 1e-12);
+        assert_eq!(edc.burst_detectable(), 8);
+        assert_eq!(edc.correctable(), 0);
+    }
+
+    #[test]
+    fn non_multiple_group_width() {
+        // 48-bit tag word with EDC8 still works (groups wrap correctly).
+        let edc = Edc::new(48, 8);
+        let data = Bits::from_positions(48, &[47]);
+        let check = edc.encode(&data);
+        assert!(check.get(47 % 8));
+        assert_eq!(edc.decode(&data, &check), Decoded::Clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parity group")]
+    fn zero_groups_panics() {
+        let _ = Edc::new(64, 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Arithmetic over the binary extension fields GF(2^m) used by the BCH
+//! codecs, implemented with log/antilog tables.
+
+/// A binary extension field GF(2^m), 2 <= m <= 13.
+///
+/// Elements are represented as `u32` polynomial bit patterns in
+/// `0..2^m`. Multiplication and inversion use log/antilog tables built
+/// from a primitive polynomial, so all operations are O(1).
+///
+/// # Examples
+///
+/// ```
+/// use ecc::gf::Gf2m;
+///
+/// let f = Gf2m::new(7);
+/// let a = f.alpha_pow(5);
+/// let b = f.alpha_pow(9);
+/// assert_eq!(f.mul(a, b), f.alpha_pow(14));
+/// assert_eq!(f.mul(a, f.inv(a)), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gf2m {
+    m: u32,
+    /// exp[i] = alpha^i for i in 0..2*(2^m - 1) (doubled to avoid a mod).
+    exp: Vec<u32>,
+    /// log[x] = discrete log of x (log[0] unused).
+    log: Vec<u32>,
+}
+
+/// Primitive polynomials (without the leading x^m term encoded implicitly)
+/// for GF(2^m), m = 2..=14. Entry `m - 2` is the full polynomial bit
+/// pattern including the x^m term.
+const PRIMITIVE_POLYS: [u32; 12] = [
+    0b111,             // m=2:  x^2+x+1
+    0b1011,            // m=3:  x^3+x+1
+    0b10011,           // m=4:  x^4+x+1
+    0b100101,          // m=5:  x^5+x^2+1
+    0b1000011,         // m=6:  x^6+x+1
+    0b10001001,        // m=7:  x^7+x^3+1
+    0b100011101,       // m=8:  x^8+x^4+x^3+x^2+1
+    0b1000010001,      // m=9:  x^9+x^4+1
+    0b10000001001,     // m=10: x^10+x^3+1
+    0b100000000101,    // m=11: x^11+x^2+1
+    0b1000001010011,   // m=12: x^12+x^6+x^4+x+1
+    0b10000000011011,  // m=13: x^13+x^4+x^3+x+1
+];
+
+impl Gf2m {
+    /// Constructs GF(2^m) from the standard primitive polynomial table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is outside `2..=13`.
+    pub fn new(m: u32) -> Self {
+        assert!((2..=13).contains(&m), "unsupported field degree {m}");
+        Self::with_poly(m, PRIMITIVE_POLYS[(m - 2) as usize])
+    }
+
+    /// Constructs GF(2^m) from an explicit primitive polynomial (bit
+    /// pattern including the `x^m` term).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial does not generate the full multiplicative
+    /// group (i.e. is not primitive).
+    pub fn with_poly(m: u32, poly: u32) -> Self {
+        let order = (1u32 << m) - 1;
+        let size = 1usize << m;
+        let mut exp = vec![0u32; 2 * order as usize];
+        let mut log = vec![0u32; size];
+        let mut x = 1u32;
+        for i in 0..order {
+            exp[i as usize] = x;
+            assert!(
+                x != 1 || i == 0,
+                "polynomial {poly:#b} is not primitive for m={m}"
+            );
+            log[x as usize] = i;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        assert_eq!(x, 1, "polynomial {poly:#b} is not primitive for m={m}");
+        for i in 0..order {
+            exp[(order + i) as usize] = exp[i as usize];
+        }
+        Gf2m { m, exp, log }
+    }
+
+    /// Field degree `m`.
+    pub fn degree(&self) -> u32 {
+        self.m
+    }
+
+    /// Multiplicative group order `2^m - 1`.
+    pub fn order(&self) -> u32 {
+        (1 << self.m) - 1
+    }
+
+    /// `alpha^e` for any exponent (reduced mod the group order).
+    pub fn alpha_pow(&self, e: i64) -> u32 {
+        let order = self.order() as i64;
+        let e = e.rem_euclid(order) as usize;
+        self.exp[e]
+    }
+
+    /// Discrete log of a nonzero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`.
+    pub fn log(&self, x: u32) -> u32 {
+        assert!(x != 0, "log of zero");
+        self.log[x as usize]
+    }
+
+    /// Field addition (XOR).
+    pub fn add(&self, a: u32, b: u32) -> u32 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] + self.log[b as usize]) as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`.
+    pub fn inv(&self, x: u32) -> u32 {
+        assert!(x != 0, "inverse of zero");
+        let order = self.order();
+        self.exp[(order - self.log[x as usize]) as usize]
+    }
+
+    /// Division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn div(&self, a: u32, b: u32) -> u32 {
+        if a == 0 {
+            0
+        } else {
+            self.mul(a, self.inv(b))
+        }
+    }
+
+    /// Exponentiation `x^e` for arbitrary `e`.
+    pub fn pow(&self, x: u32, e: i64) -> u32 {
+        if x == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        let order = self.order() as i64;
+        let l = self.log[x as usize] as i64;
+        self.alpha_pow(l * e % order)
+    }
+
+    /// Evaluates a polynomial (coefficients low-order first) at `x`.
+    pub fn eval_poly(&self, coeffs: &[u32], x: u32) -> u32 {
+        let mut acc = 0u32;
+        for &c in coeffs.iter().rev() {
+            acc = self.add(self.mul(acc, x), c);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_gf8() {
+        let f = Gf2m::new(3);
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for c in 0..8u32 {
+                    assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+                    assert_eq!(
+                        f.mul(a, f.add(b, c)),
+                        f.add(f.mul(a, b), f.mul(a, c)),
+                        "distributivity failed a={a} b={b} c={c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_gf128() {
+        let f = Gf2m::new(7);
+        for x in 1..128u32 {
+            assert_eq!(f.mul(x, f.inv(x)), 1, "x={x}");
+        }
+    }
+
+    #[test]
+    fn alpha_generates_group() {
+        for m in 2..=13 {
+            let f = Gf2m::new(m);
+            let mut seen = std::collections::HashSet::new();
+            for e in 0..f.order() {
+                seen.insert(f.alpha_pow(e as i64));
+            }
+            assert_eq!(seen.len(), f.order() as usize, "m={m}");
+        }
+    }
+
+    #[test]
+    fn pow_and_log_consistent() {
+        let f = Gf2m::new(9);
+        let x = f.alpha_pow(100);
+        assert_eq!(f.log(x), 100);
+        assert_eq!(f.pow(x, 3), f.alpha_pow(300));
+        assert_eq!(f.pow(x, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn eval_poly_horner() {
+        let f = Gf2m::new(4);
+        // p(x) = 1 + x  evaluated at alpha: 1 ^ alpha
+        let p = vec![1, 1];
+        let a = f.alpha_pow(1);
+        assert_eq!(f.eval_poly(&p, a), 1 ^ a);
+        // constant polynomial
+        assert_eq!(f.eval_poly(&[7], a), 7);
+        // empty polynomial is zero
+        assert_eq!(f.eval_poly(&[], a), 0);
+    }
+
+    #[test]
+    fn negative_exponents() {
+        let f = Gf2m::new(5);
+        let x = f.alpha_pow(-1);
+        assert_eq!(f.mul(x, f.alpha_pow(1)), 1);
+    }
+}

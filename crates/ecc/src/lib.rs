@@ -1,0 +1,56 @@
+//! # ecc — memory-protection codes for embedded SRAM
+//!
+//! Error-coding substrate for the reproduction of *"Multi-bit Error
+//! Tolerant Caches Using Two-Dimensional Error Coding"* (Kim, Hardavellas,
+//! Mai, Falsafi, Hoe — MICRO-40, 2007).
+//!
+//! The crate provides the per-word codes the paper compares:
+//!
+//! * [`Edc`] — `n`-way interleaved parity (`EDC8`, `EDC16`, `EDC32`),
+//!   the light-weight detection code used horizontally (and, across rows,
+//!   vertically) by the 2D scheme;
+//! * [`Secded`] — extended Hamming SECDED, the conventional baseline and
+//!   the 2D scheme's yield-mode horizontal code;
+//! * [`Bch`] — `t`-error-correcting extended BCH codes modelling the
+//!   conventional multi-bit comparators DECTED (t=2), QECPED (t=4), and
+//!   OECNED (t=8);
+//!
+//! plus the gate-level latency/energy model ([`logic`]) the paper uses to
+//! cost the coding circuits, and a scheme registry ([`CodeKind`]) naming the
+//! exact configurations that appear in the figures.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ecc::{Bits, Code, Decoded, Secded};
+//!
+//! let secded = Secded::new(64);                 // (72,64)
+//! let word = Bits::from_u64(0xC0FFEE, 64);
+//! let check = secded.encode(&word);
+//!
+//! let mut upset = word.clone();
+//! upset.flip(13);                               // a single-event upset
+//! let fixed = secded.decode(&upset, &check);
+//! assert!(matches!(fixed, Decoded::Corrected { .. }));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bch;
+mod bits;
+mod code;
+mod edc;
+pub mod gf;
+pub mod logic;
+mod sbd;
+mod scheme;
+mod secded;
+
+pub use bch::Bch;
+pub use bits::{Bits, IterOnes};
+pub use code::{Code, Decoded};
+pub use edc::Edc;
+pub use sbd::SecdedSbd;
+pub use scheme::{CodeKind, InterleavedScheme};
+pub use secded::Secded;

@@ -1,0 +1,338 @@
+//! Single-error-correct, double-error-detect (SECDED) extended Hamming
+//! codes for arbitrary data widths.
+//!
+//! The construction is the classic extended Hamming code: `m` syndrome bits
+//! placed (logically) at power-of-two positions of the Hamming numbering,
+//! plus one overall parity bit. For the paper's word sizes this yields the
+//! familiar geometries:
+//!
+//! | data bits | check bits | codeword |
+//! |-----------|------------|----------|
+//! | 64        | 8          | (72,64)  |
+//! | 256       | 10         | (266,256)|
+//! | 48        | 8          | (56,48)  |
+//!
+//! Decoding distinguishes three cases from the (syndrome, overall-parity)
+//! pair: clean, single-bit error (corrected in-line), and double-bit error
+//! (detected, uncorrectable).
+
+use crate::code::{validate_widths, Code, Decoded};
+use crate::Bits;
+
+/// An extended Hamming SECDED code over `k` data bits.
+///
+/// # Examples
+///
+/// ```
+/// use ecc::{Code, Decoded, Secded, Bits};
+///
+/// let code = Secded::new(64);
+/// assert_eq!(code.check_bits(), 8); // (72,64)
+///
+/// let data = Bits::from_u64(42, 64);
+/// let check = code.encode(&data);
+/// let mut two = data.clone();
+/// two.flip(0);
+/// two.flip(1);
+/// assert_eq!(code.decode(&two, &check), Decoded::Detected);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Secded {
+    data_bits: usize,
+    /// Number of Hamming syndrome bits (excludes the overall parity bit).
+    m: usize,
+    /// `hamming_pos[i]` = Hamming-numbering position (1-based) of data bit `i`.
+    hamming_pos: Vec<u32>,
+    /// Inverse map: Hamming position -> data bit index (or check index).
+    pos_to_bit: Vec<PosKind>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PosKind {
+    /// Position unused (beyond the codeword).
+    Unused,
+    /// Hamming parity bit `i` (power-of-two position).
+    Check(usize),
+    /// Data bit `i`.
+    Data(usize),
+}
+
+impl Secded {
+    /// Creates a SECDED code for `data_bits`-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits == 0`.
+    pub fn new(data_bits: usize) -> Self {
+        assert!(data_bits > 0, "SECDED needs a non-empty data word");
+        // Smallest m with 2^m - 1 - m >= data_bits.
+        let mut m = 2usize;
+        while (1usize << m) - 1 - m < data_bits {
+            m += 1;
+        }
+        let max_pos = data_bits + m; // highest used Hamming position
+        let mut hamming_pos = Vec::with_capacity(data_bits);
+        let mut pos_to_bit = vec![PosKind::Unused; max_pos + 1];
+        let mut next = 1u32;
+        let mut data_idx = 0usize;
+        while data_idx < data_bits {
+            if (next & (next - 1)) == 0 {
+                // power of two -> parity position
+                let check_idx = next.trailing_zeros() as usize;
+                pos_to_bit[next as usize] = PosKind::Check(check_idx);
+            } else {
+                pos_to_bit[next as usize] = PosKind::Data(data_idx);
+                hamming_pos.push(next);
+                data_idx += 1;
+            }
+            next += 1;
+        }
+        // Any parity positions beyond the last data bit are impossible by
+        // construction of m (all m parity positions are <= max_pos).
+        Secded {
+            data_bits,
+            m,
+            hamming_pos,
+            pos_to_bit,
+        }
+    }
+
+    /// Number of Hamming syndrome bits (check bits minus the overall
+    /// parity bit).
+    pub fn syndrome_bits(&self) -> usize {
+        self.m
+    }
+
+    /// Computes the `m`-bit Hamming syndrome plus overall parity of a
+    /// stored pair. A zero return means clean.
+    fn raw_syndrome(&self, data: &Bits, check: &Bits) -> (u32, bool) {
+        let mut syndrome = 0u32;
+        for i in data.iter_ones() {
+            syndrome ^= self.hamming_pos[i];
+        }
+        for c in 0..self.m {
+            if check.get(c) {
+                syndrome ^= 1 << c;
+            }
+        }
+        let overall = data.parity() ^ check.parity();
+        (syndrome, overall)
+    }
+
+    /// Weight (number of covered codeword positions) of each syndrome bit's
+    /// XOR tree, used by the logic-cost model.
+    pub fn syndrome_tree_weights(&self) -> Vec<usize> {
+        let mut weights = vec![0usize; self.m + 1];
+        for &pos in &self.hamming_pos {
+            for (c, w) in weights.iter_mut().enumerate().take(self.m) {
+                if pos & (1 << c) != 0 {
+                    *w += 1;
+                }
+            }
+        }
+        // each syndrome bit also XORs its stored check bit
+        for w in weights.iter_mut().take(self.m) {
+            *w += 1;
+        }
+        // overall parity covers the entire codeword
+        weights[self.m] = self.codeword_bits();
+        weights
+    }
+}
+
+impl Code for Secded {
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> usize {
+        self.m + 1
+    }
+
+    fn encode(&self, data: &Bits) -> Bits {
+        assert_eq!(data.len(), self.data_bits, "data width mismatch");
+        let mut syndrome = 0u32;
+        for i in data.iter_ones() {
+            syndrome ^= self.hamming_pos[i];
+        }
+        let mut check = Bits::zeros(self.m + 1);
+        for c in 0..self.m {
+            if syndrome & (1 << c) != 0 {
+                check.set(c, true);
+            }
+        }
+        // Overall parity makes the whole codeword even-parity.
+        let overall = data.parity() ^ check.parity();
+        check.set(self.m, overall);
+        check
+    }
+
+    fn decode(&self, data: &Bits, check: &Bits) -> Decoded {
+        validate_widths(self, data, check);
+        let (syndrome, overall) = self.raw_syndrome(data, check);
+        match (syndrome, overall) {
+            (0, false) => Decoded::Clean,
+            (0, true) => {
+                // Error in the overall parity bit itself.
+                Decoded::Corrected {
+                    data: data.clone(),
+                    flipped: vec![self.data_bits + self.m],
+                }
+            }
+            (s, true) => {
+                // Single-bit error at Hamming position s.
+                let pos = s as usize;
+                if pos >= self.pos_to_bit.len() {
+                    // Syndrome points outside the codeword: multi-bit error.
+                    return Decoded::Detected;
+                }
+                match self.pos_to_bit[pos] {
+                    PosKind::Data(i) => {
+                        let mut fixed = data.clone();
+                        fixed.flip(i);
+                        Decoded::Corrected {
+                            data: fixed,
+                            flipped: vec![i],
+                        }
+                    }
+                    PosKind::Check(c) => Decoded::Corrected {
+                        data: data.clone(),
+                        flipped: vec![self.data_bits + c],
+                    },
+                    PosKind::Unused => Decoded::Detected,
+                }
+            }
+            (_, false) => Decoded::Detected, // even number of flips >= 2
+        }
+    }
+
+    fn correctable(&self) -> usize {
+        1
+    }
+
+    fn detectable(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> String {
+        format!("SECDED({},{})", self.codeword_bits(), self.data_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(Secded::new(64).check_bits(), 8);
+        assert_eq!(Secded::new(256).check_bits(), 10);
+        assert_eq!(Secded::new(48).check_bits(), 7);
+        assert_eq!(Secded::new(64).name(), "SECDED(72,64)");
+        assert_eq!(Secded::new(256).name(), "SECDED(266,256)");
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = Secded::new(64);
+        let data = Bits::from_u64(0x0123_4567_89AB_CDEF, 64);
+        let check = code.encode(&data);
+        assert_eq!(code.decode(&data, &check), Decoded::Clean);
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit() {
+        let code = Secded::new(64);
+        let data = Bits::from_u64(0xD00D_8BAD_F00D_CAFE, 64);
+        let check = code.encode(&data);
+        for i in 0..64 {
+            let mut noisy = data.clone();
+            noisy.flip(i);
+            match code.decode(&noisy, &check) {
+                Decoded::Corrected { data: fixed, flipped } => {
+                    assert_eq!(fixed, data, "bit {i}");
+                    assert_eq!(flipped, vec![i]);
+                }
+                other => panic!("bit {i}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_check_bit() {
+        let code = Secded::new(64);
+        let data = Bits::from_u64(77, 64);
+        let check = code.encode(&data);
+        for c in 0..code.check_bits() {
+            let mut noisy_check = check.clone();
+            noisy_check.flip(c);
+            match code.decode(&data, &noisy_check) {
+                Decoded::Corrected { data: fixed, flipped } => {
+                    assert_eq!(fixed, data, "check bit {c}");
+                    assert_eq!(flipped, vec![64 + c]);
+                }
+                other => panic!("check bit {c}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn detects_all_adjacent_double_errors() {
+        let code = Secded::new(64);
+        let data = Bits::from_u64(0xAAAA_AAAA_5555_5555, 64);
+        let check = code.encode(&data);
+        for i in 0..63 {
+            let mut noisy = data.clone();
+            noisy.flip(i);
+            noisy.flip(i + 1);
+            assert_eq!(
+                code.decode(&noisy, &check),
+                Decoded::Detected,
+                "double error at {i},{}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn detects_data_plus_check_double() {
+        let code = Secded::new(64);
+        let data = Bits::zeros(64);
+        let check = code.encode(&data);
+        let mut noisy = data.clone();
+        noisy.flip(10);
+        let mut noisy_check = check.clone();
+        noisy_check.flip(0);
+        assert_eq!(code.decode(&noisy, &noisy_check), Decoded::Detected);
+    }
+
+    #[test]
+    fn wide_word_roundtrip() {
+        let code = Secded::new(256);
+        let data = Bits::from_positions(256, &[0, 100, 200, 255]);
+        let check = code.encode(&data);
+        assert_eq!(code.decode(&data, &check), Decoded::Clean);
+        let mut noisy = data.clone();
+        noisy.flip(200);
+        match code.decode(&noisy, &check) {
+            Decoded::Corrected { data: fixed, .. } => assert_eq!(fixed, data),
+            other => panic!("expected correction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syndrome_tree_weights_sane() {
+        let code = Secded::new(64);
+        let w = code.syndrome_tree_weights();
+        assert_eq!(w.len(), 8);
+        // Overall parity covers the full 72-bit codeword.
+        assert_eq!(w[7], 72);
+        // Low syndrome bits cover roughly half the used positions; the top
+        // bit of a shortened code covers only the positions above 64, so it
+        // may be as small as 8 (7 data positions + its stored check bit).
+        for (c, &wi) in w[..7].iter().enumerate() {
+            assert!(wi >= 8 && wi < 72, "syndrome bit {c} weight {wi} implausible");
+        }
+        assert!(w[0] > 16, "low syndrome bits should cover many positions");
+    }
+}

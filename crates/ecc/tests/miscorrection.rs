@@ -1,0 +1,117 @@
+//! Statistical characterization of behaviour *beyond* each code's
+//! guarantee: miscorrection rates for error weights above the design
+//! distance. These are not correctness requirements — they quantify the
+//! failure modes a designer weighs when choosing codes (the trade the
+//! paper's Section 2 discusses).
+
+use ecc::{Bch, Bits, Code, Decoded, Secded};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws `weight` distinct codeword positions and applies the flips.
+fn random_pattern<R: Rng>(rng: &mut R, codeword: usize, weight: usize) -> Vec<usize> {
+    let mut positions = Vec::with_capacity(weight);
+    while positions.len() < weight {
+        let p = rng.gen_range(0..codeword);
+        if !positions.contains(&p) {
+            positions.push(p);
+        }
+    }
+    positions
+}
+
+fn characterize(code: &dyn Code, weight: usize, trials: usize, seed: u64) -> (f64, f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut corrected, mut detected, mut silent) = (0usize, 0usize, 0usize);
+    for _ in 0..trials {
+        let data = Bits::from_u64(rng.gen(), 64);
+        let check = code.encode(&data);
+        let mut d = data.clone();
+        let mut c = check.clone();
+        for p in random_pattern(&mut rng, code.codeword_bits(), weight) {
+            if p < 64 {
+                d.flip(p);
+            } else {
+                c.flip(p - 64);
+            }
+        }
+        match code.decode(&d, &c) {
+            Decoded::Clean => silent += 1,
+            Decoded::Corrected { data: fixed, .. } => {
+                if fixed == data {
+                    corrected += 1;
+                } else {
+                    silent += 1; // miscorrection
+                }
+            }
+            Decoded::Detected => detected += 1,
+        }
+    }
+    let t = trials as f64;
+    (corrected as f64 / t, detected as f64 / t, silent as f64 / t)
+}
+
+#[test]
+fn secded_triple_errors_mostly_miscorrect() {
+    // A known property of SECDED: weight-3 patterns have odd syndromes
+    // and usually alias to a (wrong) single-bit correction. The test pins
+    // the magnitude so regressions in the decoder are visible.
+    let code = Secded::new(64);
+    let (_, detected, silent) = characterize(&code, 3, 400, 1);
+    assert!(
+        silent > 0.5,
+        "triple errors should usually miscorrect: silent={silent}"
+    );
+    // A minority land on unused syndromes and are detected.
+    assert!(detected > 0.0 && detected < 0.5, "detected={detected}");
+}
+
+#[test]
+fn dected_beyond_capability_rarely_silent() {
+    // 4 errors against t=2: Berlekamp-Massey usually yields a locator of
+    // degree > t or inconsistent roots -> detected. Some patterns
+    // miscorrect; the extended parity kills all odd-weight aliasing, so
+    // the silent rate stays a minority.
+    let code = Bch::new(64, 2);
+    let (corrected, detected, silent) = characterize(&code, 4, 300, 2);
+    assert_eq!(corrected, 0.0, "4 errors can never be truly corrected");
+    assert!(detected > 0.5, "most weight-4 patterns detected: {detected}");
+    assert!(silent < 0.5, "silent rate {silent}");
+}
+
+#[test]
+fn odd_weights_never_silent_under_extended_parity() {
+    // The extended parity bit makes every odd-weight pattern visible:
+    // weight-5 against DECTED (t=2) must never decode Clean, and any
+    // "correction" it proposes has even weight, so the total flip count
+    // differs from the truth — but crucially the *clean* outcome is
+    // impossible.
+    let code = Bch::new(64, 2);
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..200 {
+        let data = Bits::from_u64(rng.gen(), 64);
+        let check = code.encode(&data);
+        let mut d = data.clone();
+        let mut c = check.clone();
+        for p in random_pattern(&mut rng, code.codeword_bits(), 5) {
+            if p < 64 {
+                d.flip(p);
+            } else {
+                c.flip(p - 64);
+            }
+        }
+        assert_ne!(code.decode(&d, &c), Decoded::Clean);
+    }
+}
+
+#[test]
+fn stronger_codes_push_detection_higher() {
+    // At a fixed overload (t+2 errors), stronger codes leave less silent
+    // corruption — the quantitative argument for paying for OECNED.
+    let (_, det2, _) = characterize(&Bch::new(64, 2), 4, 200, 4);
+    let (_, det8, _) = characterize(&Bch::new(64, 8), 10, 200, 4);
+    assert!(
+        det8 >= det2 * 0.8,
+        "OECNED overload detection {det8} should be in the class of DECTED's {det2}"
+    );
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the codec guarantees: every code must honor
+//! its advertised correction/detection capability on arbitrary data and
+//! arbitrary error patterns.
+
+use ecc::{Bch, Bits, Code, Decoded, Edc, Secded};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn bits_strategy(len: usize) -> impl Strategy<Value = Bits> {
+    vec(any::<u64>(), len.div_ceil(64)).prop_map(move |limbs| Bits::from_limbs(&limbs, len))
+}
+
+/// Distinct codeword positions (data + check space) of size `count`.
+fn distinct_positions(total: usize, count: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::sample::subsequence((0..total).collect::<Vec<_>>(), count)
+}
+
+fn apply_errors(code: &dyn Code, data: &Bits, check: &Bits, positions: &[usize]) -> (Bits, Bits) {
+    let mut d = data.clone();
+    let mut c = check.clone();
+    for &p in positions {
+        if p < code.data_bits() {
+            d.flip(p);
+        } else {
+            c.flip(p - code.data_bits());
+        }
+    }
+    (d, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn secded_corrects_any_single_error(
+        data in bits_strategy(64),
+        pos in 0usize..72,
+    ) {
+        let code = Secded::new(64);
+        let check = code.encode(&data);
+        let (d, c) = apply_errors(&code, &data, &check, &[pos]);
+        match code.decode(&d, &c) {
+            Decoded::Corrected { data: fixed, flipped } => {
+                prop_assert_eq!(fixed, data);
+                prop_assert_eq!(flipped, vec![pos]);
+            }
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn secded_detects_any_double_error(
+        data in bits_strategy(64),
+        positions in distinct_positions(72, 2),
+    ) {
+        prop_assume!(positions.len() == 2);
+        let code = Secded::new(64);
+        let check = code.encode(&data);
+        let (d, c) = apply_errors(&code, &data, &check, &positions);
+        prop_assert_eq!(code.decode(&d, &c), Decoded::Detected);
+    }
+
+    #[test]
+    fn edc_detects_any_burst(
+        data in bits_strategy(64),
+        start in 0usize..64,
+        len in 1usize..=8,
+    ) {
+        let edc = Edc::new(64, 8);
+        let check = edc.encode(&data);
+        let mut noisy = data.clone();
+        let end = (start + len).min(64);
+        for i in start..end {
+            noisy.flip(i);
+        }
+        prop_assert_eq!(edc.decode(&noisy, &check), Decoded::Detected);
+    }
+
+    #[test]
+    fn dected_corrects_any_two_errors(
+        data in bits_strategy(64),
+        positions in distinct_positions(79, 2),
+    ) {
+        prop_assume!(positions.len() == 2);
+        let code = Bch::new(64, 2);
+        let check = code.encode(&data);
+        let (d, c) = apply_errors(&code, &data, &check, &positions);
+        match code.decode(&d, &c) {
+            Decoded::Corrected { data: fixed, flipped } => {
+                prop_assert_eq!(fixed, data);
+                prop_assert_eq!(flipped, positions);
+            }
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn dected_detects_any_three_errors(
+        data in bits_strategy(64),
+        positions in distinct_positions(79, 3),
+    ) {
+        prop_assume!(positions.len() == 3);
+        let code = Bch::new(64, 2);
+        let check = code.encode(&data);
+        let (d, c) = apply_errors(&code, &data, &check, &positions);
+        prop_assert_eq!(code.decode(&d, &c), Decoded::Detected);
+    }
+
+    #[test]
+    fn qecped_corrects_any_four_errors(
+        data in bits_strategy(64),
+        positions in distinct_positions(93, 4),
+    ) {
+        prop_assume!(positions.len() == 4);
+        let code = Bch::new(64, 4);
+        let check = code.encode(&data);
+        let (d, c) = apply_errors(&code, &data, &check, &positions);
+        match code.decode(&d, &c) {
+            Decoded::Corrected { data: fixed, .. } => prop_assert_eq!(fixed, data),
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn qecped_detects_any_five_errors(
+        data in bits_strategy(64),
+        positions in distinct_positions(93, 5),
+    ) {
+        prop_assume!(positions.len() == 5);
+        let code = Bch::new(64, 4);
+        let check = code.encode(&data);
+        let (d, c) = apply_errors(&code, &data, &check, &positions);
+        prop_assert_eq!(code.decode(&d, &c), Decoded::Detected);
+    }
+
+    #[test]
+    fn oecned_corrects_any_eight_errors(
+        data in bits_strategy(64),
+        positions in distinct_positions(121, 8),
+    ) {
+        prop_assume!(positions.len() == 8);
+        let code = Bch::new(64, 8);
+        let check = code.encode(&data);
+        let (d, c) = apply_errors(&code, &data, &check, &positions);
+        match code.decode(&d, &c) {
+            Decoded::Corrected { data: fixed, .. } => prop_assert_eq!(fixed, data),
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn oecned_detects_any_nine_errors(
+        data in bits_strategy(64),
+        positions in distinct_positions(121, 9),
+    ) {
+        prop_assume!(positions.len() == 9);
+        let code = Bch::new(64, 8);
+        let check = code.encode(&data);
+        let (d, c) = apply_errors(&code, &data, &check, &positions);
+        prop_assert_eq!(code.decode(&d, &c), Decoded::Detected);
+    }
+
+    #[test]
+    fn wide_word_dected_roundtrip(
+        data in bits_strategy(256),
+        positions in distinct_positions(275, 2),
+    ) {
+        prop_assume!(positions.len() == 2);
+        let code = Bch::new(256, 2);
+        let check = code.encode(&data);
+        let (d, c) = apply_errors(&code, &data, &check, &positions);
+        match code.decode(&d, &c) {
+            Decoded::Corrected { data: fixed, .. } => prop_assert_eq!(fixed, data),
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn encode_is_deterministic(data in bits_strategy(64)) {
+        for code in [
+            Box::new(Secded::new(64)) as Box<dyn Code>,
+            Box::new(Edc::new(64, 8)),
+            Box::new(Bch::new(64, 2)),
+        ] {
+            let a = code.encode(&data);
+            let b = code.encode(&data);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Physical row layout: how logical (word, bit) coordinates map onto
+//! physical columns under bit interleaving.
+//!
+//! With `d`-way interleaving, `d` complete codewords share one physical
+//! row and their bits are interleaved bit-by-bit (`A1 B1 C1 D1 A2 B2 ...`),
+//! so a physically contiguous error burst of `d * n` columns touches at
+//! most `n` contiguous logical bits of each codeword.
+
+use ecc::Bits;
+
+/// Mapping between logical codewords and the physical columns of a row.
+///
+/// A row holds `interleave` codewords of `data_bits + check_bits` bits
+/// each. Data bits occupy the left region of the row, check bits the right
+/// region; both regions are bit-interleaved across the words.
+///
+/// # Examples
+///
+/// ```
+/// use memarray::RowLayout;
+///
+/// // Four (72,64) codewords share a 288-column row.
+/// let layout = RowLayout::new(64, 8, 4);
+/// assert_eq!(layout.row_cols(), 288);
+/// assert_eq!(layout.data_col(0, 0), 0);
+/// assert_eq!(layout.data_col(1, 0), 1);  // next word, same bit
+/// assert_eq!(layout.data_col(0, 1), 4);  // same word, next bit
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowLayout {
+    data_bits: usize,
+    check_bits: usize,
+    interleave: usize,
+}
+
+impl RowLayout {
+    /// Creates a layout for `interleave` codewords of `data_bits` data and
+    /// `check_bits` check bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero (`check_bits` may be zero only for
+    /// unprotected arrays).
+    pub fn new(data_bits: usize, check_bits: usize, interleave: usize) -> Self {
+        assert!(data_bits > 0, "layout needs data bits");
+        assert!(interleave > 0, "interleave degree must be >= 1");
+        RowLayout {
+            data_bits,
+            check_bits,
+            interleave,
+        }
+    }
+
+    /// Data bits per word.
+    pub fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    /// Check bits per word.
+    pub fn check_bits(&self) -> usize {
+        self.check_bits
+    }
+
+    /// Interleave degree (words per row).
+    pub fn interleave(&self) -> usize {
+        self.interleave
+    }
+
+    /// Total physical columns per row.
+    pub fn row_cols(&self) -> usize {
+        (self.data_bits + self.check_bits) * self.interleave
+    }
+
+    /// Physical column of data bit `bit` of word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn data_col(&self, word: usize, bit: usize) -> usize {
+        assert!(word < self.interleave, "word {word} out of range");
+        assert!(bit < self.data_bits, "data bit {bit} out of range");
+        bit * self.interleave + word
+    }
+
+    /// Physical column of check bit `bit` of word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn check_col(&self, word: usize, bit: usize) -> usize {
+        assert!(word < self.interleave, "word {word} out of range");
+        assert!(bit < self.check_bits, "check bit {bit} out of range");
+        self.data_bits * self.interleave + bit * self.interleave + word
+    }
+
+    /// Inverse map: which (word, logical codeword bit) lives at physical
+    /// column `col`. Codeword bit indices follow the [`ecc::Code`]
+    /// convention: `0..data_bits` data, then check bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= row_cols()`.
+    pub fn col_to_word_bit(&self, col: usize) -> (usize, usize) {
+        assert!(col < self.row_cols(), "column {col} out of range");
+        let data_region = self.data_bits * self.interleave;
+        if col < data_region {
+            (col % self.interleave, col / self.interleave)
+        } else {
+            let c = col - data_region;
+            (c % self.interleave, self.data_bits + c / self.interleave)
+        }
+    }
+
+    /// Extracts the data word `word` from a physical row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width mismatches or `word` is out of range.
+    pub fn extract_data(&self, row: &Bits, word: usize) -> Bits {
+        assert_eq!(row.len(), self.row_cols(), "row width mismatch");
+        let mut out = Bits::zeros(self.data_bits);
+        for bit in 0..self.data_bits {
+            if row.get(self.data_col(word, bit)) {
+                out.set(bit, true);
+            }
+        }
+        out
+    }
+
+    /// Extracts the check word `word` from a physical row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width mismatches or `word` is out of range.
+    pub fn extract_check(&self, row: &Bits, word: usize) -> Bits {
+        assert_eq!(row.len(), self.row_cols(), "row width mismatch");
+        let mut out = Bits::zeros(self.check_bits);
+        for bit in 0..self.check_bits {
+            if row.get(self.check_col(word, bit)) {
+                out.set(bit, true);
+            }
+        }
+        out
+    }
+
+    /// Writes `data` and `check` for `word` into a physical row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any width mismatch.
+    pub fn place_word(&self, row: &mut Bits, word: usize, data: &Bits, check: &Bits) {
+        assert_eq!(row.len(), self.row_cols(), "row width mismatch");
+        assert_eq!(data.len(), self.data_bits, "data width mismatch");
+        assert_eq!(check.len(), self.check_bits, "check width mismatch");
+        for bit in 0..self.data_bits {
+            row.set(self.data_col(word, bit), data.get(bit));
+        }
+        for bit in 0..self.check_bits {
+            row.set(self.check_col(word, bit), check.get(bit));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_bijective() {
+        let layout = RowLayout::new(64, 8, 4);
+        let mut seen = vec![false; layout.row_cols()];
+        for w in 0..4 {
+            for b in 0..64 {
+                let c = layout.data_col(w, b);
+                assert!(!seen[c], "column {c} double-mapped");
+                seen[c] = true;
+                assert_eq!(layout.col_to_word_bit(c), (w, b));
+            }
+            for b in 0..8 {
+                let c = layout.check_col(w, b);
+                assert!(!seen[c], "column {c} double-mapped");
+                seen[c] = true;
+                assert_eq!(layout.col_to_word_bit(c), (w, 64 + b));
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unmapped columns remain");
+    }
+
+    #[test]
+    fn contiguous_burst_spreads_across_words() {
+        // A burst of `interleave` adjacent data columns hits each word once.
+        let layout = RowLayout::new(64, 8, 4);
+        let words: Vec<usize> = (0..4)
+            .map(|c| layout.col_to_word_bit(c).0)
+            .collect();
+        assert_eq!(words, vec![0, 1, 2, 3]);
+        // A 32-column burst hits each word in 8 contiguous logical bits.
+        for w in 0..4 {
+            let bits: Vec<usize> = (0..32)
+                .filter(|&c| layout.col_to_word_bit(c).0 == w)
+                .map(|c| layout.col_to_word_bit(c).1)
+                .collect();
+            assert_eq!(bits, (0..8).collect::<Vec<_>>(), "word {w}");
+        }
+    }
+
+    #[test]
+    fn place_extract_roundtrip() {
+        let layout = RowLayout::new(16, 5, 2);
+        let mut row = Bits::zeros(layout.row_cols());
+        let d0 = Bits::from_u64(0xBEEF, 16);
+        let c0 = Bits::from_u64(0b10101, 5);
+        let d1 = Bits::from_u64(0x1234, 16);
+        let c1 = Bits::from_u64(0b01010, 5);
+        layout.place_word(&mut row, 0, &d0, &c0);
+        layout.place_word(&mut row, 1, &d1, &c1);
+        assert_eq!(layout.extract_data(&row, 0), d0);
+        assert_eq!(layout.extract_check(&row, 0), c0);
+        assert_eq!(layout.extract_data(&row, 1), d1);
+        assert_eq!(layout.extract_check(&row, 1), c1);
+    }
+
+    #[test]
+    fn no_interleave_is_identity_for_data() {
+        let layout = RowLayout::new(8, 3, 1);
+        for b in 0..8 {
+            assert_eq!(layout.data_col(0, b), b);
+        }
+        for b in 0..3 {
+            assert_eq!(layout.check_col(0, b), 8 + b);
+        }
+    }
+
+    #[test]
+    fn zero_check_bits_allowed() {
+        let layout = RowLayout::new(8, 0, 2);
+        assert_eq!(layout.row_cols(), 16);
+        let row = Bits::zeros(16);
+        assert_eq!(layout.extract_check(&row, 0).len(), 0);
+    }
+}

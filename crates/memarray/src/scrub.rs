@@ -1,0 +1,203 @@
+//! Scrubbing policies and the detection-latency analysis behind the
+//! paper's Section 2.1 remark that periodic scrubbing "has lower error
+//! coverage than checking ECC on every read": between scrub passes,
+//! independent errors can accumulate in one word and defeat the code.
+//!
+//! This module provides a policy abstraction (periodic scrub vs on-access
+//! checking) plus an analytic model of the accumulation risk, and a
+//! Monte-Carlo experiment that reproduces it against a live array.
+
+use crate::{ErrorShape, TwoDArray};
+use rand::Rng;
+
+/// When stored words are checked for errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckPolicy {
+    /// The horizontal code is checked on every read (the paper's choice).
+    OnAccess,
+    /// The array is swept every `interval` time units; errors are only
+    /// found during sweeps.
+    PeriodicScrub {
+        /// Time units between scrub passes.
+        interval: u64,
+    },
+}
+
+/// Analytic model: probability that a word accumulates `>= threshold`
+/// independent single-bit errors within one exposure window.
+///
+/// With per-word error rate `rate` (errors per time unit) and an exposure
+/// window `window`, arrivals are Poisson with mean `rate * window`. A
+/// SECDED word is defeated by the second arrival, so the defeat
+/// probability is `P(N >= 2)`.
+pub fn accumulation_defeat_probability(rate: f64, window: f64) -> f64 {
+    let mu = rate * window;
+    1.0 - (-mu).exp() * (1.0 + mu)
+}
+
+/// Expected exposure window of a policy: how long an error can sit
+/// unobserved. On-access checking with mean access interval
+/// `access_interval` observes each word that often; periodic scrubbing
+/// waits for the next sweep.
+pub fn exposure_window(policy: CheckPolicy, access_interval: f64) -> f64 {
+    match policy {
+        CheckPolicy::OnAccess => access_interval,
+        CheckPolicy::PeriodicScrub { interval } => interval as f64,
+    }
+}
+
+/// Outcome of the scrubbing Monte-Carlo experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubExperiment {
+    /// Error events injected.
+    pub injected: u64,
+    /// Events that were corrected before a second error compounded them.
+    pub corrected_in_time: u64,
+    /// Events that compounded into uncorrectable damage.
+    pub compounded: u64,
+}
+
+impl ScrubExperiment {
+    /// Fraction of injected events that compounded.
+    pub fn compound_fraction(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            self.compounded as f64 / self.injected as f64
+        }
+    }
+}
+
+/// Runs a simple accumulation experiment on a live 2D bank: single-bit
+/// errors arrive at `events` random instants over `duration` time units;
+/// the bank is scrubbed per `policy`. Returns how many errors compounded
+/// (two unscrubbed errors alive at once anywhere in the array).
+///
+/// The bank's own 2D recovery corrects whatever the policy finds — the
+/// experiment measures *detection latency*, the quantity the policy
+/// controls.
+pub fn run_scrub_experiment<R: Rng>(
+    bank: &mut TwoDArray,
+    policy: CheckPolicy,
+    events: u64,
+    duration: u64,
+    rng: &mut R,
+) -> ScrubExperiment {
+    let mut result = ScrubExperiment::default();
+    // Event times, sorted.
+    let mut times: Vec<u64> = (0..events).map(|_| rng.gen_range(0..duration)).collect();
+    times.sort_unstable();
+    let mut pending: Vec<u64> = Vec::new(); // times of uncorrected errors
+    let mut next_scrub = match policy {
+        CheckPolicy::OnAccess => 1,
+        CheckPolicy::PeriodicScrub { interval } => interval,
+    };
+    let scrub_step = match policy {
+        CheckPolicy::OnAccess => 1,
+        CheckPolicy::PeriodicScrub { interval } => interval,
+    };
+    for &t in &times {
+        // Process scrub passes before this event.
+        while next_scrub <= t {
+            if !pending.is_empty() {
+                let _ = bank.scrub();
+                pending.clear();
+            }
+            next_scrub += scrub_step;
+        }
+        // Inject the error.
+        let row = rng.gen_range(0..bank.rows());
+        let col = rng.gen_range(0..bank.cols());
+        bank.inject(ErrorShape::Single { row, col });
+        result.injected += 1;
+        if pending.is_empty() {
+            pending.push(t);
+        } else {
+            // A second error while one is outstanding: compounded.
+            result.compounded += 1;
+            let _ = bank.scrub(); // clean up for the next round
+            pending.clear();
+        }
+    }
+    result.corrected_in_time = result.injected - result.compounded;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TwoDConfig;
+    use ecc::CodeKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bank() -> TwoDArray {
+        TwoDArray::new(TwoDConfig {
+            rows: 64,
+            horizontal: CodeKind::Edc(8),
+            data_bits: 64,
+            interleave: 2,
+            vertical_rows: 16,
+        })
+    }
+
+    #[test]
+    fn analytic_defeat_grows_with_window() {
+        let rate = 1e-3;
+        let mut last = 0.0;
+        for window in [1.0, 10.0, 100.0, 1000.0] {
+            let p = accumulation_defeat_probability(rate, window);
+            assert!(p >= last);
+            last = p;
+        }
+        assert!(last > 0.2, "long windows must show real risk: {last}");
+    }
+
+    #[test]
+    fn on_access_has_shortest_exposure() {
+        let on = exposure_window(CheckPolicy::OnAccess, 5.0);
+        let scrub = exposure_window(CheckPolicy::PeriodicScrub { interval: 500 }, 5.0);
+        assert!(on < scrub);
+    }
+
+    #[test]
+    fn scrubbing_compounds_more_than_on_access() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut b1 = bank();
+        let on_access = run_scrub_experiment(&mut b1, CheckPolicy::OnAccess, 60, 10_000, &mut rng);
+        let mut b2 = bank();
+        let scrubbed = run_scrub_experiment(
+            &mut b2,
+            CheckPolicy::PeriodicScrub { interval: 2_000 },
+            60,
+            10_000,
+            &mut rng,
+        );
+        assert!(
+            scrubbed.compound_fraction() >= on_access.compound_fraction(),
+            "scrub {} vs on-access {}",
+            scrubbed.compound_fraction(),
+            on_access.compound_fraction()
+        );
+    }
+
+    #[test]
+    fn experiment_accounting_consistent() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut b = bank();
+        let r = run_scrub_experiment(
+            &mut b,
+            CheckPolicy::PeriodicScrub { interval: 100 },
+            40,
+            5_000,
+            &mut rng,
+        );
+        assert_eq!(r.injected, 40);
+        assert_eq!(r.corrected_in_time + r.compounded, r.injected);
+    }
+
+    #[test]
+    fn zero_events_zero_fraction() {
+        assert_eq!(ScrubExperiment::default().compound_fraction(), 0.0);
+    }
+}

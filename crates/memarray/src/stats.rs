@@ -1,0 +1,58 @@
+//! Operation counters for the 2D engine, used by overhead analyses and
+//! the examples to report how much background work the scheme performs.
+
+/// Counters accumulated by a [`crate::TwoDArray`] over its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Word reads requested by the user.
+    pub reads: u64,
+    /// Word writes requested by the user.
+    pub writes: u64,
+    /// Extra array reads issued for read-before-write vertical updates.
+    pub extra_reads: u64,
+    /// Errors corrected in-line by the horizontal code (e.g. SECDED).
+    pub inline_corrections: u64,
+    /// 2D recovery invocations.
+    pub recoveries: u64,
+    /// Total rows scanned during recovery (BIST march cost proxy).
+    pub recovery_rows_scanned: u64,
+    /// Bits restored by 2D recovery.
+    pub bits_recovered: u64,
+    /// Hard-fault cells substituted by BISR remap during recovery.
+    pub cells_remapped: u64,
+    /// Scrub passes completed.
+    pub scrub_passes: u64,
+}
+
+impl EngineStats {
+    /// Fraction of array accesses that are 2D-induced extra reads.
+    pub fn extra_read_fraction(&self) -> f64 {
+        let total = self.reads + self.writes + self.extra_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.extra_reads as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extra_read_fraction_zero_when_idle() {
+        assert_eq!(EngineStats::default().extra_read_fraction(), 0.0);
+    }
+
+    #[test]
+    fn extra_read_fraction_counts() {
+        let stats = EngineStats {
+            reads: 60,
+            writes: 20,
+            extra_reads: 20,
+            ..Default::default()
+        };
+        assert!((stats.extra_read_fraction() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! In-field reliability when ECC is used to absorb manufacture-time hard
+//! errors — the analysis behind the paper's Figure 8(b).
+//!
+//! If a word's SECDED budget is already spent on a hard fault, any soft
+//! error in the same cache block combines into a multi-bit error the
+//! horizontal code cannot correct. The paper models ten 16MB caches at
+//! 1000 FIT/Mb and asks: what is the probability that, over a deployment
+//! period, *every* soft error lands outside hard-faulty blocks? With 2D
+//! coding the question is moot — the vertical code corrects the combined
+//! error — so the "with 2D" curve stays at 100%.
+
+/// Hours per (365-day) year.
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// Parameters of the Figure 8(b) study.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FieldModel {
+    /// Number of cache instances in the system.
+    pub caches: u64,
+    /// Capacity of each cache in megabytes.
+    pub cache_mb: u64,
+    /// Soft-error rate in FIT (failures per 1e9 device-hours) per Mbit.
+    pub fit_per_mbit: f64,
+    /// Bits per cache block that share fate with a hard fault (64B line).
+    pub block_bits: u64,
+    /// Hard error rate: fraction of cells faulty at manufacture.
+    pub her: f64,
+}
+
+impl FieldModel {
+    /// The paper's configuration: ten 16MB caches at 1000 FIT/Mb with 64B
+    /// blocks, parameterized by the hard error rate.
+    pub fn paper_system(her: f64) -> Self {
+        FieldModel {
+            caches: 10,
+            cache_mb: 16,
+            fit_per_mbit: 1000.0,
+            block_bits: 512,
+            her,
+        }
+    }
+
+    /// The three hard-error rates plotted in Figure 8(b).
+    pub fn figure8b_hers() -> [f64; 3] {
+        [0.0005e-2, 0.001e-2, 0.005e-2]
+    }
+
+    /// Total capacity in megabits.
+    pub fn total_mbit(&self) -> f64 {
+        (self.caches * self.cache_mb * 8) as f64
+    }
+
+    /// Expected soft errors per hour across the system.
+    pub fn soft_errors_per_hour(&self) -> f64 {
+        self.fit_per_mbit * self.total_mbit() / 1e9
+    }
+
+    /// Probability a uniformly placed soft error lands in a block that
+    /// already carries a hard fault.
+    pub fn p_soft_hits_faulty_block(&self) -> f64 {
+        // P(block has >= 1 hard fault) with Poisson-thin approximation.
+        let lambda = self.block_bits as f64 * self.her;
+        1.0 - (-lambda).exp()
+    }
+
+    /// Probability that ECC-based hard-error correction *without* 2D
+    /// coding survives `years` of operation: every soft error must avoid
+    /// hard-faulty blocks.
+    pub fn success_without_2d(&self, years: f64) -> f64 {
+        let n_soft = self.soft_errors_per_hour() * years * HOURS_PER_YEAR;
+        // Poisson thinning: failures arrive at rate n_soft * p; success
+        // is the probability of zero failures.
+        (-n_soft * self.p_soft_hits_faulty_block()).exp()
+    }
+
+    /// Probability of surviving `years` with 2D coding: the vertical code
+    /// corrects a soft error combined with a hard fault (the error stays
+    /// within the 32x32 coverage), so correction always succeeds.
+    pub fn success_with_2d(&self, _years: f64) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_error_rate_magnitude() {
+        // 1280 Mbit at 1000 FIT/Mb = 1.28e6 FIT = 1.28e-3 per hour,
+        // roughly 11 per year — matching the paper's "one every few
+        // days" for large systems.
+        let m = FieldModel::paper_system(0.00001);
+        assert!((m.total_mbit() - 1280.0).abs() < 1e-9);
+        let per_year = m.soft_errors_per_hour() * HOURS_PER_YEAR;
+        assert!(per_year > 5.0 && per_year < 20.0, "{per_year}");
+    }
+
+    #[test]
+    fn five_year_success_matches_figure8b_shape() {
+        // HER = 0.005% drops deeply; 0.001% ~ 75%; 0.0005% ~ 87%.
+        let hers = FieldModel::figure8b_hers();
+        let s_low = FieldModel::paper_system(hers[0]).success_without_2d(5.0);
+        let s_mid = FieldModel::paper_system(hers[1]).success_without_2d(5.0);
+        let s_high = FieldModel::paper_system(hers[2]).success_without_2d(5.0);
+        assert!(s_low > 0.8 && s_low < 0.95, "low HER: {s_low}");
+        assert!(s_mid > 0.65 && s_mid < 0.85, "mid HER: {s_mid}");
+        assert!(s_high > 0.1 && s_high < 0.4, "high HER: {s_high}");
+        assert!(s_low > s_mid && s_mid > s_high);
+    }
+
+    #[test]
+    fn success_decays_monotonically_in_time() {
+        let m = FieldModel::paper_system(0.005e-2);
+        let mut last = 1.0;
+        for y in 0..=5 {
+            let s = m.success_without_2d(y as f64);
+            assert!(s <= last + 1e-12, "year {y}");
+            last = s;
+        }
+        assert_eq!(m.success_without_2d(0.0), 1.0);
+    }
+
+    #[test]
+    fn with_2d_always_survives() {
+        let m = FieldModel::paper_system(0.005e-2);
+        for y in 0..=5 {
+            assert_eq!(m.success_with_2d(y as f64), 1.0);
+        }
+    }
+
+    #[test]
+    fn higher_her_is_worse() {
+        let mut last = 1.0;
+        for her in [0.0001e-2, 0.001e-2, 0.01e-2] {
+            let s = FieldModel::paper_system(her).success_without_2d(3.0);
+            assert!(s < last);
+            last = s;
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Minimal numerically-stable Poisson utilities for the yield models.
+
+/// Natural log of `n!` (Stirling's series above a small exact table).
+pub fn ln_factorial(n: u64) -> f64 {
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_251,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_894,
+        30.671_860_106_080_675,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    if n <= 20 {
+        return TABLE[n as usize];
+    }
+    let x = n as f64;
+    // Stirling's approximation with the 1/(12n) correction term.
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+}
+
+/// log of the Poisson pmf at `k` with mean `mu`.
+pub fn ln_pmf(k: u64, mu: f64) -> f64 {
+    if mu <= 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    -mu + k as f64 * mu.ln() - ln_factorial(k)
+}
+
+/// Poisson CDF `P(X <= k)` for mean `mu`, computed with a log-sum-exp
+/// accumulation so extreme tails neither overflow nor underflow to NaN.
+pub fn cdf(k: u64, mu: f64) -> f64 {
+    if mu <= 0.0 {
+        return 1.0;
+    }
+    // Accumulate pmf terms in linear space relative to the largest term.
+    let mode = (mu.floor() as u64).min(k);
+    let ln_max = ln_pmf(mode, mu);
+    if ln_max == f64::NEG_INFINITY {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for i in 0..=k {
+        sum += (ln_pmf(i, mu) - ln_max).exp();
+    }
+    let ln_cdf = ln_max + sum.ln();
+    ln_cdf.exp().clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_matches_exact_values() {
+        assert!((ln_factorial(5) - (120.0f64).ln()).abs() < 1e-12);
+        assert!((ln_factorial(20) - 42.335_616_460_753_485).abs() < 1e-9);
+        // Stirling region: 25! known value.
+        let exact_25: f64 = 15511210043330985984000000.0f64;
+        assert!((ln_factorial(25) - exact_25.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_basics() {
+        // P(X <= 0) = e^-mu.
+        assert!((cdf(0, 2.0) - (-2.0f64).exp()).abs() < 1e-12);
+        // Large k covers everything.
+        assert!((cdf(100, 2.0) - 1.0).abs() < 1e-9);
+        // Zero mean is certain.
+        assert_eq!(cdf(0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_monotone_in_k() {
+        let mu = 7.5;
+        let mut last = 0.0;
+        for k in 0..40 {
+            let c = cdf(k, mu);
+            assert!(c >= last - 1e-12, "k={k}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn cdf_monotone_decreasing_in_mu() {
+        let mut last = 1.0;
+        for mu in [0.1, 1.0, 5.0, 20.0, 100.0] {
+            let c = cdf(10, mu);
+            assert!(c <= last + 1e-12, "mu={mu}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn extreme_tail_does_not_nan() {
+        let c = cdf(128, 4000.0);
+        assert!(c.is_finite());
+        assert!(c < 1e-100);
+    }
+
+    #[test]
+    fn median_near_mean() {
+        // For mu = 50, the median is ~50: CDF(49) < 0.5 <= CDF(50)-ish.
+        assert!(cdf(40, 50.0) < 0.5);
+        assert!(cdf(60, 50.0) > 0.5);
+    }
+}

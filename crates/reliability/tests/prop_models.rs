@@ -1,0 +1,84 @@
+//! Property tests for the reliability models: monotonicity and bounds
+//! that must hold for every parameterization.
+
+use proptest::prelude::*;
+use reliability::{FieldModel, RepairScheme, YieldModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn yield_decreases_in_defects(
+        words_log in 14u32..=22,
+        cells_a in 0u64..2000,
+        delta in 1u64..2000,
+        spares in 0u64..64,
+    ) {
+        let m = YieldModel { words: 1 << words_log, word_bits: 72 };
+        for scheme in [
+            RepairScheme::SpareRows(spares.max(1)),
+            RepairScheme::EccOnly,
+            RepairScheme::EccPlusSpares(spares),
+        ] {
+            let a = m.yield_probability(cells_a, scheme);
+            let b = m.yield_probability(cells_a + delta, scheme);
+            prop_assert!(b <= a + 1e-9, "{}: {} -> {}", scheme.label(), a, b);
+        }
+    }
+
+    #[test]
+    fn yield_increases_in_spares(
+        cells in 1u64..4000,
+        spares in 0u64..128,
+    ) {
+        let m = YieldModel::l2_16mb();
+        let fewer = m.yield_probability(cells, RepairScheme::EccPlusSpares(spares));
+        let more = m.yield_probability(cells, RepairScheme::EccPlusSpares(spares + 8));
+        prop_assert!(more >= fewer - 1e-9);
+    }
+
+    #[test]
+    fn yield_is_probability(cells in 0u64..100_000, spares in 0u64..256) {
+        let m = YieldModel::l2_16mb();
+        for scheme in [
+            RepairScheme::SpareRows(spares.max(1)),
+            RepairScheme::EccOnly,
+            RepairScheme::EccPlusSpares(spares),
+        ] {
+            let y = m.yield_probability(cells, scheme);
+            prop_assert!((0.0..=1.0).contains(&y), "{}", y);
+            prop_assert!(y.is_finite());
+        }
+    }
+
+    #[test]
+    fn ecc_plus_spares_dominates_both_components(cells in 1u64..4000) {
+        let m = YieldModel::l2_16mb();
+        let combo = m.yield_probability(cells, RepairScheme::EccPlusSpares(32));
+        let ecc = m.yield_probability(cells, RepairScheme::EccOnly);
+        let spares = m.yield_probability(cells, RepairScheme::SpareRows(32));
+        prop_assert!(combo >= ecc - 1e-9);
+        prop_assert!(combo >= spares - 1e-9);
+    }
+
+    #[test]
+    fn field_success_decreases_in_time_and_her(
+        her_ppm in 1.0f64..100.0,
+        years in 0.0f64..10.0,
+    ) {
+        let her = her_ppm * 1e-6;
+        let m = FieldModel::paper_system(her);
+        let now = m.success_without_2d(years);
+        let later = m.success_without_2d(years + 1.0);
+        prop_assert!(later <= now + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&now));
+        let worse = FieldModel::paper_system(her * 2.0).success_without_2d(years);
+        prop_assert!(worse <= now + 1e-12);
+    }
+
+    #[test]
+    fn with_2d_always_unity(her_ppm in 1.0f64..100.0, years in 0.0f64..10.0) {
+        let m = FieldModel::paper_system(her_ppm * 1e-6);
+        prop_assert_eq!(m.success_with_2d(years), 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! CMP performance explorer: measure the IPC cost of 2D protection on
+//! the fat and lean CMPs for a chosen workload, sweeping the four
+//! protection configurations of the paper's Figure 5.
+//!
+//! Run with: `cargo run --release --example cmp_ipc [workload]`
+//! where `workload` is one of: oltp dss web moldyn ocean sparse all
+
+use cachesim::{
+    ipc_loss_percent, run_sim, ProtectionPolicy, SystemConfig, WorkloadProfile, DEFAULT_CYCLES,
+};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let workloads: Vec<WorkloadProfile> = match arg.as_str() {
+        "oltp" => vec![WorkloadProfile::oltp()],
+        "dss" => vec![WorkloadProfile::dss()],
+        "web" => vec![WorkloadProfile::web()],
+        "moldyn" => vec![WorkloadProfile::moldyn()],
+        "ocean" => vec![WorkloadProfile::ocean()],
+        "sparse" => vec![WorkloadProfile::sparse()],
+        _ => WorkloadProfile::paper_set().to_vec(),
+    };
+
+    for (name, cfg) in [("fat CMP", SystemConfig::fat_cmp()), ("lean CMP", SystemConfig::lean_cmp())] {
+        println!("== {name} ==");
+        for w in &workloads {
+            let base = run_sim(cfg, ProtectionPolicy::baseline(), *w, DEFAULT_CYCLES, 7);
+            println!(
+                "{:<8} baseline aggregate IPC {:.3} ({} instructions / {} cycles)",
+                w.name,
+                base.ipc(),
+                base.instructions,
+                base.cycles
+            );
+            for (label, policy) in [
+                ("L1 2D", ProtectionPolicy::l1_only()),
+                ("L1 2D + port stealing", ProtectionPolicy::l1_steal()),
+                ("L2 2D", ProtectionPolicy::l2_only()),
+                ("L1 (steal) + L2 2D", ProtectionPolicy::full()),
+            ] {
+                let stats = run_sim(cfg, policy, *w, DEFAULT_CYCLES, 7);
+                println!(
+                    "         {:<24} IPC {:.3}  loss {:>5.2}%  extra reads: L1 {:>6} L2 {:>6}",
+                    label,
+                    stats.ipc(),
+                    ipc_loss_percent(&base, &stats),
+                    stats.l1_extra_2d,
+                    stats.l2_extra_2d
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,41 @@
+//! Trace validation: show that each workload profile used by the cycle
+//! simulator corresponds to a concrete, realizable address stream by
+//! generating synthetic traces and measuring the miss ratios that emerge
+//! from functional caches.
+//!
+//! Run with: `cargo run --release --example trace_validation`
+
+use cachesim::trace::{validate_profile, FunctionalCache, StreamModel};
+use cachesim::WorkloadProfile;
+
+fn main() {
+    println!("workload   declared L1 miss   measured L1 miss   measured dirty-evict");
+    println!("--------   ----------------   ----------------   --------------------");
+    for profile in WorkloadProfile::paper_set() {
+        let v = validate_profile(&profile, 200_000, 42);
+        println!(
+            "{:<10} {:>15.3}% {:>17.3}% {:>21.3}",
+            profile.name,
+            profile.l1d_miss * 100.0,
+            v.l1_miss * 100.0,
+            v.dirty_evict
+        );
+    }
+
+    println!();
+    println!("Cache-size sensitivity of the OLTP stream (64B lines, 2-way):");
+    let model = StreamModel::for_profile(&WorkloadProfile::oltp());
+    let trace = model.generate(200_000, 7);
+    for kb in [8usize, 16, 32, 64, 128, 256] {
+        let mut cache = FunctionalCache::new(kb * 1024, 2, 64);
+        for r in &trace {
+            cache.access(r.addr, r.is_write);
+        }
+        println!("  {kb:>4}kB  miss {:>6.3}%", cache.miss_ratio() * 100.0);
+    }
+    println!();
+    println!(
+        "The working-set knee sits where the hot set stops fitting — the\n\
+         locality structure the statistical simulator's miss ratios assume."
+    );
+}

@@ -1,0 +1,29 @@
+//! # twod-repro — umbrella crate
+//!
+//! Re-exports every workspace member of the reproduction of *"Multi-bit
+//! Error Tolerant Caches Using Two-Dimensional Error Coding"* (Kim et
+//! al., MICRO-40, 2007) so the examples and integration tests can use a
+//! single dependency. Downstream users should depend on the individual
+//! crates instead.
+//!
+//! ```
+//! use twod_repro::twod_cache::{CacheConfig, ProtectedCache};
+//! use twod_repro::memarray::ErrorShape;
+//!
+//! # fn main() -> Result<(), twod_repro::memarray::EngineError> {
+//! let mut cache = ProtectedCache::new(CacheConfig::l1_64kb());
+//! cache.write(0x40, 7)?;
+//! cache.inject_data_error(ErrorShape::Cluster { row: 0, col: 0, height: 8, width: 8 });
+//! assert_eq!(cache.read(0x40)?, 7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cachegeom;
+pub use cachesim;
+pub use ecc;
+pub use memarray;
+pub use reliability;
+pub use twod_cache;

@@ -1,0 +1,182 @@
+//! Edge-case integration tests: unusual geometries, boundary widths, and
+//! failure-path behaviour across crates.
+
+use ecc::{Bch, Bits, Code, Decoded, Edc, Secded, SecdedSbd};
+use memarray::{ErrorShape, TwoDArray, TwoDConfig};
+
+#[test]
+fn codes_work_on_tag_widths() {
+    // The paper applies coding to 48-bit tag words too.
+    for code in [
+        Box::new(Edc::new(48, 8)) as Box<dyn Code>,
+        Box::new(Secded::new(48)),
+        Box::new(Bch::new(48, 2)),
+        Box::new(SecdedSbd::new(48, 8)),
+    ] {
+        let data = Bits::from_u64(0xABCD_EF01_2345, 48);
+        let check = code.encode(&data);
+        assert_eq!(code.decode(&data, &check), Decoded::Clean, "{}", code.name());
+        let mut noisy = data.clone();
+        noisy.flip(47);
+        assert_ne!(
+            code.decode(&noisy, &check),
+            Decoded::Clean,
+            "{} missed a boundary-bit flip",
+            code.name()
+        );
+    }
+}
+
+#[test]
+fn codes_work_on_odd_widths() {
+    // Widths that are neither powers of two nor byte multiples.
+    for width in [13usize, 50, 100, 171] {
+        let secded = Secded::new(width);
+        let data = Bits::from_positions(width, &[0, width / 2, width - 1]);
+        let check = secded.encode(&data);
+        assert_eq!(secded.decode(&data, &check), Decoded::Clean, "w={width}");
+        let mut noisy = data.clone();
+        noisy.flip(width - 1);
+        assert!(
+            matches!(secded.decode(&noisy, &check), Decoded::Corrected { .. }),
+            "w={width}"
+        );
+    }
+}
+
+#[test]
+fn bch_wide_words_and_high_t() {
+    // 512-bit words force a larger field (m=10).
+    let code = Bch::new(512, 2);
+    assert!(code.field_degree() >= 10);
+    let data = Bits::from_positions(512, &[0, 255, 511]);
+    let check = code.encode(&data);
+    let mut noisy = data.clone();
+    noisy.flip(500);
+    noisy.flip(501);
+    match code.decode(&noisy, &check) {
+        Decoded::Corrected { data: fixed, .. } => assert_eq!(fixed, data),
+        other => panic!("expected correction, got {other:?}"),
+    }
+}
+
+#[test]
+fn minimal_twod_bank() {
+    // Smallest sensible bank: 2 rows, 1 parity row, no interleave.
+    let mut bank = TwoDArray::new(TwoDConfig {
+        rows: 2,
+        horizontal: ecc::CodeKind::Edc(8),
+        data_bits: 64,
+        interleave: 1,
+        vertical_rows: 1,
+    });
+    let a = Bits::from_u64(0xA, 64);
+    let b = Bits::from_u64(0xB, 64);
+    bank.write_word(0, 0, &a);
+    bank.write_word(1, 0, &b);
+    bank.inject(ErrorShape::Row { row: 0 });
+    assert_eq!(bank.read_word(0, 0).unwrap().into_data(), a);
+    assert_eq!(bank.read_word(1, 0).unwrap().into_data(), b);
+}
+
+#[test]
+fn wide_word_twod_bank() {
+    // The L2 configuration: 256-bit words, EDC16, 2-way interleave.
+    let mut bank = TwoDArray::new(TwoDConfig {
+        rows: 64,
+        horizontal: ecc::CodeKind::Edc(16),
+        data_bits: 256,
+        interleave: 2,
+        vertical_rows: 32,
+    });
+    let word = Bits::from_positions(256, &[0, 100, 200, 255]);
+    bank.write_word(10, 1, &word);
+    // 32-column cluster: within EDC16+Intv2 detection width.
+    bank.inject(ErrorShape::Cluster {
+        row: 0,
+        col: 0,
+        height: 32,
+        width: 32,
+    });
+    assert_eq!(bank.read_word(10, 1).unwrap().into_data(), word);
+    assert!(bank.audit());
+}
+
+#[test]
+fn overlapping_writes_to_same_word() {
+    let mut bank = TwoDArray::new(TwoDConfig {
+        rows: 8,
+        horizontal: ecc::CodeKind::Secded,
+        data_bits: 64,
+        interleave: 2,
+        vertical_rows: 4,
+    });
+    // Many rewrites of the same word must keep parity exact.
+    for i in 0..50u64 {
+        bank.write_word(3, 1, &Bits::from_u64(i.wrapping_mul(0x1234_5678_9ABC_DEF1), 64));
+    }
+    assert!(bank.audit());
+}
+
+#[test]
+fn injection_on_check_columns_recovers() {
+    let mut bank = TwoDArray::new(TwoDConfig {
+        rows: 32,
+        horizontal: ecc::CodeKind::Edc(8),
+        data_bits: 64,
+        interleave: 4,
+        vertical_rows: 8,
+    });
+    let word = Bits::from_u64(0xF00D, 64);
+    for r in 0..32 {
+        for w in 0..4 {
+            bank.write_word(r, w, &word);
+        }
+    }
+    // Hit the check-bit region only (columns past the data area).
+    let data_cols = 64 * 4;
+    bank.inject(ErrorShape::Cluster {
+        row: 4,
+        col: data_cols + 2,
+        height: 4,
+        width: 8,
+    });
+    for r in 4..8 {
+        for w in 0..4 {
+            assert_eq!(bank.read_word(r, w).unwrap().into_data(), word);
+        }
+    }
+    assert!(bank.audit());
+}
+
+#[test]
+fn sbd_various_byte_widths() {
+    for (k, b) in [(32usize, 4usize), (64, 4), (64, 8), (128, 8)] {
+        let code = SecdedSbd::new(k, b);
+        let data = Bits::from_positions(k, &[0, k / 3, k - 1]);
+        let check = code.encode(&data);
+        assert_eq!(code.decode(&data, &check), Decoded::Clean, "k={k} b={b}");
+        // Full-byte wipe of the last byte is detected or exactly fixed.
+        let mut noisy = data.clone();
+        for bit in (k - b)..k {
+            noisy.flip(bit);
+        }
+        match code.decode(&noisy, &check) {
+            Decoded::Detected => {}
+            Decoded::Corrected { data: fixed, .. } => assert_eq!(fixed, data),
+            Decoded::Clean => panic!("k={k} b={b}: byte wipe undetected"),
+        }
+    }
+}
+
+#[test]
+fn decoded_data_accessor_consistency() {
+    let code = Secded::new(64);
+    let data = Bits::from_u64(77, 64);
+    let check = code.encode(&data);
+    let mut noisy = data.clone();
+    noisy.flip(3);
+    let outcome = code.decode(&noisy, &check);
+    // data() on the outcome must give back the corrected word.
+    assert_eq!(outcome.data(&noisy), Some(&data));
+}
