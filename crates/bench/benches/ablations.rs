@@ -103,5 +103,10 @@ fn ablation_portsteal(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation_vertical, ablation_horizontal, ablation_portsteal);
+criterion_group!(
+    benches,
+    ablation_vertical,
+    ablation_horizontal,
+    ablation_portsteal
+);
 criterion_main!(benches);

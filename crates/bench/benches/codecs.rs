@@ -102,5 +102,10 @@ fn bench_decode_with_errors(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode_clean, bench_decode_with_errors);
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode_clean,
+    bench_decode_with_errors
+);
 criterion_main!(benches);

@@ -88,5 +88,10 @@ fn bench_recovery_march(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_write_path, bench_read_path, bench_recovery_march);
+criterion_group!(
+    benches,
+    bench_write_path,
+    bench_read_path,
+    bench_recovery_march
+);
 criterion_main!(benches);

@@ -19,7 +19,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(77);
 
     header("Ablation A: vertical interleave factor V (EDC8+Intv4 horizontal)");
-    println!("  {:<6} {:>16} {:>18} {:>22}", "V", "storage ovh", "VxV cluster", "(V+1)x(V+1) cluster");
+    println!(
+        "  {:<6} {:>16} {:>18} {:>22}",
+        "V", "storage ovh", "VxV cluster", "(V+1)x(V+1) cluster"
+    );
     for v in [8usize, 16, 32, 64] {
         let config = TwoDConfig {
             rows: ROWS,
@@ -30,7 +33,7 @@ fn main() {
         };
         let overhead = 8.0 / 64.0 + v as f64 / ROWS as f64 * (1.0 + 8.0 / 64.0);
         let inside = cluster_rate(&mut rng, config, v.min(32), 32);
-        let outside = cluster_rate(&mut rng, config, v + 1, 33.min(288));
+        let outside = cluster_rate(&mut rng, config, v + 1, 33);
         println!(
             "  {v:<6} {:>15.1}% {:>17.0}% {:>21.0}%",
             overhead * 100.0,
@@ -40,7 +43,10 @@ fn main() {
     }
 
     header("Ablation B: horizontal code choice (V = 32)");
-    println!("  {:<22} {:>12} {:>16} {:>18}", "horizontal", "check bits", "row burst detect", "inline correct");
+    println!(
+        "  {:<22} {:>12} {:>16} {:>18}",
+        "horizontal", "check bits", "row burst detect", "inline correct"
+    );
     for (code, interleave, data_bits) in [
         (CodeKind::Edc(8), 4usize, 64usize),
         (CodeKind::Edc(16), 2, 256),
@@ -57,7 +63,10 @@ fn main() {
 
     header("Ablation C: scrub interval vs error accumulation");
     println!("  (per-word error rate 1e-4/unit; SECDED defeated by the 2nd arrival)");
-    println!("  {:<26} {:>14} {:>18}", "policy", "exposure", "defeat probability");
+    println!(
+        "  {:<26} {:>14} {:>18}",
+        "policy", "exposure", "defeat probability"
+    );
     for policy in [
         CheckPolicy::OnAccess,
         CheckPolicy::PeriodicScrub { interval: 100 },

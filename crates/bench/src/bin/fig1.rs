@@ -13,7 +13,11 @@ fn main() {
     for (label, word) in [("64b word", 64usize), ("256b word", 256)] {
         println!("{label}:");
         for code in CodeKind::paper_set() {
-            bar_row(&code.to_string(), storage_overhead(code, word) * 100.0, 100.0);
+            bar_row(
+                &code.to_string(),
+                storage_overhead(code, word) * 100.0,
+                100.0,
+            );
         }
     }
 

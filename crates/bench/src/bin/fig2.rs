@@ -10,8 +10,16 @@ fn main() {
     let degrees = [1usize, 2, 4, 8, 16];
 
     for (title, words, cw) in [
-        ("Figure 2(b): 64kB cache (2-way, 2 ports, 1 bank), (72,64) words", 8192usize, 72usize),
-        ("Figure 2(c): 4MB cache (16-way, 1 port, 8 banks), (266,256) words", 16384, 266),
+        (
+            "Figure 2(b): 64kB cache (2-way, 2 ports, 1 bank), (72,64) words",
+            8192usize,
+            72usize,
+        ),
+        (
+            "Figure 2(c): 4MB cache (16-way, 1 port, 8 banks), (266,256) words",
+            16384,
+            266,
+        ),
     ] {
         header(title);
         print!("  {:<26}", "objective \\ interleave");

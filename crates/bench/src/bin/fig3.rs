@@ -79,8 +79,7 @@ fn conventional_rate(
             height: h,
             width: w,
         };
-        if conventional_covers(ROWS, code, 64, interleave, shape, rng)
-            == CoverageOutcome::Corrected
+        if conventional_covers(ROWS, code, 64, interleave, shape, rng) == CoverageOutcome::Corrected
         {
             ok += 1;
         }
@@ -94,8 +93,7 @@ fn conventional_row_failure_rate(rng: &mut StdRng, code: CodeKind, interleave: u
         let shape = ErrorShape::Row {
             row: rng.gen_range(0..ROWS),
         };
-        if conventional_covers(ROWS, code, 64, interleave, shape, rng)
-            == CoverageOutcome::Corrected
+        if conventional_covers(ROWS, code, 64, interleave, shape, rng) == CoverageOutcome::Corrected
         {
             ok += 1;
         }

@@ -13,8 +13,14 @@ fn main() {
         return;
     }
     for (title, cfg) in [
-        ("Figure 5(a): fat baseline (% IPC loss)", SystemConfig::fat_cmp()),
-        ("Figure 5(b): lean baseline (% IPC loss)", SystemConfig::lean_cmp()),
+        (
+            "Figure 5(a): fat baseline (% IPC loss)",
+            SystemConfig::fat_cmp(),
+        ),
+        (
+            "Figure 5(b): lean baseline (% IPC loss)",
+            SystemConfig::lean_cmp(),
+        ),
     ] {
         header(title);
         println!(
@@ -38,7 +44,10 @@ fn main() {
 
 fn print_table1() {
     header("Table 1: simulated systems");
-    for (name, c) in [("Fat CMP", SystemConfig::fat_cmp()), ("Lean CMP", SystemConfig::lean_cmp())] {
+    for (name, c) in [
+        ("Fat CMP", SystemConfig::fat_cmp()),
+        ("Lean CMP", SystemConfig::lean_cmp()),
+    ] {
         println!("  {name}:");
         println!("    cores                {}", c.cores);
         println!("    threads/core         {}", c.threads_per_core);

@@ -6,7 +6,10 @@ use bench::header;
 use cachesim::{figure6, SystemConfig, DEFAULT_CYCLES};
 
 fn main() {
-    for (name, cfg) in [("fat", SystemConfig::fat_cmp()), ("lean", SystemConfig::lean_cmp())] {
+    for (name, cfg) in [
+        ("fat", SystemConfig::fat_cmp()),
+        ("lean", SystemConfig::lean_cmp()),
+    ] {
         let rows = figure6(cfg, DEFAULT_CYCLES, 42);
 
         header(&format!(

@@ -37,7 +37,10 @@ fn main() {
     println!();
     for years in 0..=5 {
         let y = years as f64;
-        print!("  {years:<10} {:>11.1}%", FieldModel::paper_system(hers[0]).success_with_2d(y) * 100.0);
+        print!(
+            "  {years:<10} {:>11.1}%",
+            FieldModel::paper_system(hers[0]).success_with_2d(y) * 100.0
+        );
         for her in hers {
             let s = FieldModel::paper_system(her).success_without_2d(y);
             print!(" {:>17.1}%", s * 100.0);

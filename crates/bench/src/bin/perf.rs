@@ -1,0 +1,257 @@
+//! Perf-trajectory emitter: measures mean ns/op for every codec and for
+//! the 2D engine's array operations, and writes the results as
+//! `BENCH_codecs.json` and `BENCH_engine.json`.
+//!
+//! These artifacts seed the performance baseline that later optimization
+//! PRs are measured against; CI uploads them on every push.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf               # full run, ./BENCH_*.json
+//! cargo run --release -p bench --bin perf -- --quick    # CI smoke (bounded iterations)
+//! cargo run --release -p bench --bin perf -- --out-dir target/bench
+//! ```
+
+use ecc::{Bch, Bits, Code, CodeKind, Edc, Secded};
+use memarray::{ErrorShape, TwoDArray, TwoDConfig};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One measured operation.
+struct Sample {
+    name: &'static str,
+    op: &'static str,
+    mean_ns: f64,
+    iters: u64,
+}
+
+/// Measurement budget. Quick mode keeps CI smoke runs to well under a
+/// second per operation while still producing valid (noisier) numbers.
+struct Budget {
+    /// Warmup stops at whichever of these two limits hits first.
+    warmup_iters: u64,
+    warmup_ns: u128,
+    /// Statistical floor: measure at least this many iterations even if
+    /// the time budget is already spent.
+    min_iters: u64,
+    target_ns: u128,
+}
+
+impl Budget {
+    fn full() -> Self {
+        Budget {
+            warmup_iters: 1_000,
+            warmup_ns: 50_000_000,
+            min_iters: 64,
+            target_ns: 200_000_000,
+        }
+    }
+
+    fn quick() -> Self {
+        Budget {
+            warmup_iters: 10,
+            warmup_ns: 1_000_000,
+            min_iters: 10,
+            target_ns: 2_000_000,
+        }
+    }
+}
+
+/// Times `routine` and returns (mean ns/op, iterations measured).
+///
+/// Runs geometrically growing chunks and re-checks the wall-clock
+/// budget between chunks, so cheap operations accumulate enough
+/// iterations to be stable while slow ones (recovery marches) overshoot
+/// the budget by at most one chunk (~2x worst case), not a fixed
+/// iteration count.
+fn measure<O, F: FnMut() -> O>(budget: &Budget, mut routine: F) -> (f64, u64) {
+    let warm_started = Instant::now();
+    for _ in 0..budget.warmup_iters {
+        black_box(routine());
+        if warm_started.elapsed().as_nanos() >= budget.warmup_ns {
+            break;
+        }
+    }
+    let mut iters: u64 = 0;
+    let mut chunk: u64 = 1;
+    let started = Instant::now();
+    loop {
+        for _ in 0..chunk {
+            black_box(routine());
+        }
+        iters += chunk;
+        if started.elapsed().as_nanos() >= budget.target_ns && iters >= budget.min_iters {
+            break;
+        }
+        chunk = (chunk * 2).min(4_096);
+    }
+    (started.elapsed().as_nanos() as f64 / iters as f64, iters)
+}
+
+fn codec_samples(budget: &Budget) -> Vec<Sample> {
+    let data = Bits::from_u64(0x0123_4567_89AB_CDEF, 64);
+    let codecs: Vec<(&'static str, Box<dyn Code>)> = vec![
+        ("edc8", Box::new(Edc::new(64, 8))),
+        ("edc16", Box::new(Edc::new(64, 16))),
+        ("secded", Box::new(Secded::new(64))),
+        ("dected", Box::new(Bch::new(64, 2))),
+        ("qecped", Box::new(Bch::new(64, 4))),
+        ("oecned", Box::new(Bch::new(64, 8))),
+    ];
+    let mut out = Vec::new();
+    for (name, code) in &codecs {
+        let (mean_ns, iters) = measure(budget, || code.encode(black_box(&data)));
+        out.push(Sample {
+            name,
+            op: "encode",
+            mean_ns,
+            iters,
+        });
+        let check = code.encode(&data);
+        let (mean_ns, iters) = measure(budget, || code.decode(black_box(&data), black_box(&check)));
+        out.push(Sample {
+            name,
+            op: "decode_clean",
+            mean_ns,
+            iters,
+        });
+    }
+    out
+}
+
+fn paper_config(rows: usize) -> TwoDConfig {
+    TwoDConfig {
+        rows,
+        horizontal: CodeKind::Edc(8),
+        data_bits: 64,
+        interleave: 4,
+        vertical_rows: 32,
+    }
+}
+
+fn engine_samples(budget: &Budget) -> Vec<Sample> {
+    let mut out = Vec::new();
+
+    // Write path: read-before-write + vertical parity update.
+    let mut bank = TwoDArray::new(paper_config(256));
+    let word = Bits::from_u64(0x1234_5678_9ABC_DEF0, 64);
+    let mut i = 0usize;
+    let (mean_ns, iters) = measure(budget, || {
+        bank.write_word(i % 256, i % 4, black_box(&word));
+        i = i.wrapping_add(1);
+    });
+    out.push(Sample {
+        name: "twod_array",
+        op: "write_word",
+        mean_ns,
+        iters,
+    });
+
+    // Clean read path: horizontal detection only.
+    let mut i = 0usize;
+    let (mean_ns, iters) = measure(budget, || {
+        let r = bank.read_word(i % 256, i % 4).unwrap();
+        i = i.wrapping_add(1);
+        r
+    });
+    out.push(Sample {
+        name: "twod_array",
+        op: "read_word_clean",
+        mean_ns,
+        iters,
+    });
+
+    // Recovery march over a 16x16 cluster (setup excluded per pass, so
+    // this measures inject + recover; injection is a tiny fraction).
+    let (mean_ns, iters) = measure(budget, || {
+        bank.inject(ErrorShape::Cluster {
+            row: 1,
+            col: 0,
+            height: 16,
+            width: 16,
+        });
+        bank.recover().unwrap()
+    });
+    out.push(Sample {
+        name: "twod_array",
+        op: "recover_cluster_16x16",
+        mean_ns,
+        iters,
+    });
+
+    out
+}
+
+fn render_json(mode: &str, samples: &[Sample]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"twod-repro/bench-v1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"op\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}}}{comma}",
+            r.name, r.op, r.mean_ns, r.iters
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn emit(path: &Path, mode: &str, samples: &[Sample]) {
+    std::fs::write(path, render_json(mode, samples))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("wrote {} ({} results)", path.display(), samples.len());
+    for r in samples {
+        println!("  {:<12} {:<22} {:>12.1} ns/op", r.name, r.op, r.mean_ns);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let mut out_dir = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out-dir" => {
+                let dir = it
+                    .next()
+                    .filter(|v| !v.starts_with("--"))
+                    .unwrap_or_else(|| {
+                        eprintln!("--out-dir needs a path");
+                        std::process::exit(2);
+                    });
+                out_dir = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                println!("usage: perf [--quick] [--out-dir DIR]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("creating output directory");
+    let (budget, mode) = if quick {
+        (Budget::quick(), "quick")
+    } else {
+        (Budget::full(), "full")
+    };
+    emit(
+        &out_dir.join("BENCH_codecs.json"),
+        mode,
+        &codec_samples(&budget),
+    );
+    emit(
+        &out_dir.join("BENCH_engine.json"),
+        mode,
+        &engine_samples(&budget),
+    );
+}

@@ -20,10 +20,23 @@ const EXPERIMENTS: &[(&str, &str, &[&str])] = &[
     ("fig3", "coverage vs overhead, 256x256 array (Fig. 3)", &[]),
     ("fig5", "IPC loss, fat + lean CMPs (Fig. 5a/5b)", &[]),
     ("fig6", "cache access mix per 100 cycles (Fig. 6)", &[]),
-    ("fig7", "area/latency/power vs conventional (Fig. 7a/7b)", &[]),
+    (
+        "fig7",
+        "area/latency/power vs conventional (Fig. 7a/7b)",
+        &[],
+    ),
     ("fig8", "yield + field reliability (Fig. 8a/8b)", &[]),
-    ("table1", "simulated system parameters (Table 1)", &["--print-config"]),
+    (
+        "table1",
+        "simulated system parameters (Table 1)",
+        &["--print-config"],
+    ),
     ("ablation", "design-choice ablation sweeps", &[]),
+    (
+        "bench",
+        "mean ns/op per codec + engine op -> BENCH_*.json",
+        &[],
+    ),
 ];
 
 fn main() {
@@ -51,7 +64,11 @@ fn main() {
     let mut failures = 0;
     for (name, description, extra) in selected {
         println!("\n######## {name}: {description} ########");
-        let bin = if *name == "table1" { "fig5" } else { name };
+        let bin = match *name {
+            "table1" => "fig5",
+            "bench" => "perf",
+            other => other,
+        };
         let mut path = std::env::current_exe().expect("own executable path");
         path.set_file_name(bin);
         match Command::new(&path).args(*extra).status() {

@@ -25,7 +25,9 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 {
         return String::new();
     }
-    let n = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let n = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     "#".repeat(n)
 }
 

@@ -109,13 +109,21 @@ pub fn interleave_sweep(
     degrees: &[usize],
     objective: Objective,
 ) -> Vec<SweepPoint> {
-    let base = optimize(model, &ArrayGeometry::new(words, codeword_bits, 1), objective)
-        .metrics
-        .read_energy;
+    let base = optimize(
+        model,
+        &ArrayGeometry::new(words, codeword_bits, 1),
+        objective,
+    )
+    .metrics
+    .read_energy;
     degrees
         .iter()
         .map(|&d| {
-            let chosen = optimize(model, &ArrayGeometry::new(words, codeword_bits, d), objective);
+            let chosen = optimize(
+                model,
+                &ArrayGeometry::new(words, codeword_bits, d),
+                objective,
+            );
             SweepPoint {
                 interleave: d,
                 normalized_energy: chosen.metrics.read_energy / base,

@@ -29,7 +29,7 @@ impl ArrayGeometry {
     pub fn new(words: usize, codeword_bits: usize, interleave: usize) -> Self {
         assert!(words > 0 && codeword_bits > 0 && interleave > 0);
         assert!(
-            words % interleave == 0,
+            words.is_multiple_of(interleave),
             "words ({words}) must be a multiple of the interleave degree ({interleave})"
         );
         ArrayGeometry {

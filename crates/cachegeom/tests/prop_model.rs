@@ -3,17 +3,16 @@
 //! can visit.
 
 use cachegeom::{
-    interleave_sweep, optimize, ArrayGeometry, CostModel, Objective, SegmentPlan,
-    MIN_SEGMENT_COLS, MIN_SEGMENT_ROWS,
+    interleave_sweep, optimize, ArrayGeometry, CostModel, Objective, SegmentPlan, MIN_SEGMENT_COLS,
+    MIN_SEGMENT_ROWS,
 };
 use proptest::prelude::*;
 
 fn geometry_strategy() -> impl Strategy<Value = ArrayGeometry> {
     // Words = power-of-two between 2^10 and 2^17; codeword 60..300 bits;
     // interleave 1/2/4/8 dividing the word count.
-    (10u32..=17, 60usize..300, 0usize..4).prop_map(|(lw, cw, ilog)| {
-        ArrayGeometry::new(1usize << lw, cw, 1 << ilog)
-    })
+    (10u32..=17, 60usize..300, 0usize..4)
+        .prop_map(|(lw, cw, ilog)| ArrayGeometry::new(1usize << lw, cw, 1 << ilog))
 }
 
 proptest! {

@@ -69,7 +69,10 @@ impl Directory {
 
     /// State of `line` in `core`'s L1.
     pub fn state(&self, core: usize, line: u64) -> Mesi {
-        self.states.get(&(core, line)).copied().unwrap_or(Mesi::Invalid)
+        self.states
+            .get(&(core, line))
+            .copied()
+            .unwrap_or(Mesi::Invalid)
     }
 
     /// Processes a read by `core` of `line`.
@@ -118,7 +121,11 @@ impl Directory {
                 if !outcome.dirty_transfer {
                     outcome.from_l2 = true;
                 }
-                let new_state = if any_peer { Mesi::Shared } else { Mesi::Exclusive };
+                let new_state = if any_peer {
+                    Mesi::Shared
+                } else {
+                    Mesi::Exclusive
+                };
                 self.set(core, line, new_state);
                 outcome
             }

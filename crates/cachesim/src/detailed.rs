@@ -214,8 +214,7 @@ impl DetailedSim {
                     let (wait, _) = self.l2.access(bank, now, L2Access::FillRead);
                     latency += wait;
                 }
-                let stall =
-                    ((latency as f64) / self.config.miss_overlap).ceil() as u64;
+                let stall = ((latency as f64) / self.config.miss_overlap).ceil() as u64;
                 self.ready_at[core] = now + stall;
                 self.stats.miss_stall_cycles += stall;
             }

@@ -130,7 +130,7 @@ mod tests {
     }
 
     #[test]
-    fn banks_are_independent(){
+    fn banks_are_independent() {
         let mut l2 = BankedL2::new(2, 4, false);
         l2.access(0, 0, L2Access::FillRead);
         let (w, _) = l2.access(1, 0, L2Access::FillRead);

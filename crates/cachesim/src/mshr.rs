@@ -79,6 +79,7 @@ mod tests {
         let mut pool = MshrPool::new(2);
         assert_eq!(pool.allocate(0, 10), 0); // retires at 10
         assert_eq!(pool.allocate(0, 20), 0); // retires at 20
+
         // Third miss at t=5 must wait until t=10.
         assert_eq!(pool.allocate(5, 30), 5);
     }

@@ -136,6 +136,7 @@ mod tests {
         assert_eq!(ports.steal_backlog(), 1);
         // Next cycle is idle -> the deferred read is serviced.
         let _ = ports.begin_cycle(); // accounts prior cycle's usage
+
         // Cycle with no demand:
         let stolen = ports.begin_cycle();
         assert_eq!(stolen, 1);

@@ -2,8 +2,7 @@
 //! Figure 6 access-mix panels.
 
 use crate::{
-    ipc_loss_percent, run_sim, AccessMix, ProtectionPolicy, SimStats, SystemConfig,
-    WorkloadProfile,
+    ipc_loss_percent, run_sim, AccessMix, ProtectionPolicy, SimStats, SystemConfig, WorkloadProfile,
 };
 
 /// Default measurement window (cycles); the paper samples 50k-cycle
@@ -101,7 +100,10 @@ mod tests {
         let rows = figure5(SystemConfig::fat_cmp(), CYCLES, 1);
         assert_eq!(rows.len(), 6);
         let names: Vec<&str> = rows.iter().map(|r| r.workload).collect();
-        assert_eq!(names, vec!["OLTP", "DSS", "Web", "Moldyn", "Ocean", "Sparse"]);
+        assert_eq!(
+            names,
+            vec!["OLTP", "DSS", "Web", "Moldyn", "Ocean", "Sparse"]
+        );
     }
 
     #[test]

@@ -692,7 +692,13 @@ mod atomic_rbw_tests {
         let mut atomic = SystemConfig::lean_cmp();
         atomic.atomic_rbw = true;
         let w = WorkloadProfile::moldyn();
-        let base = run_sim(SystemConfig::lean_cmp(), ProtectionPolicy::baseline(), w, 20_000, 5);
+        let base = run_sim(
+            SystemConfig::lean_cmp(),
+            ProtectionPolicy::baseline(),
+            w,
+            20_000,
+            5,
+        );
         let two_phase = run_sim(
             SystemConfig::lean_cmp(),
             ProtectionPolicy::l1_only(),

@@ -110,7 +110,7 @@ impl FunctionalCache {
     pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
         assert!(ways > 0 && line_bytes > 0 && capacity_bytes > 0);
         let lines = capacity_bytes / line_bytes;
-        assert!(lines % ways == 0, "capacity must tile into sets");
+        assert!(lines.is_multiple_of(ways), "capacity must tile into sets");
         let sets = lines / ways;
         FunctionalCache {
             sets,

@@ -172,7 +172,11 @@ mod tests {
     #[test]
     fn profiles_are_probabilistically_sane() {
         for p in WorkloadProfile::paper_set() {
-            assert!(p.load_per_instr > 0.0 && p.load_per_instr < 1.0, "{}", p.name);
+            assert!(
+                p.load_per_instr > 0.0 && p.load_per_instr < 1.0,
+                "{}",
+                p.name
+            );
             assert!(p.store_per_instr > 0.0 && p.store_per_instr < 1.0);
             assert!(p.l1d_miss > 0.0 && p.l1d_miss < 0.5);
             assert!(p.l1i_miss >= 0.0 && p.l1i_miss < 0.5);
@@ -197,7 +201,13 @@ mod tests {
 
     #[test]
     fn set_order_matches_figures() {
-        let names: Vec<&str> = WorkloadProfile::paper_set().iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["OLTP", "DSS", "Web", "Moldyn", "Ocean", "Sparse"]);
+        let names: Vec<&str> = WorkloadProfile::paper_set()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["OLTP", "DSS", "Web", "Moldyn", "Ocean", "Sparse"]
+        );
     }
 }

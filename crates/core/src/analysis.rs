@@ -131,7 +131,8 @@ fn raw_overheads(model: &CostModel, spec: &CacheSpec, scheme: &ComparedScheme) -
             RawOverheads {
                 area: check as f64 / spec.word_data_bits as f64 + 1.0,
                 latency: cost.total_depth() as f64,
-                power: energy + logic
+                power: energy
+                    + logic
                     + WRITE_THROUGH_WRITE_FRACTION * L2_WRITE_ENERGY_MULTIPLIER * energy,
             }
         }
@@ -147,11 +148,17 @@ fn read_energy(model: &CostModel, spec: &CacheSpec, check_bits: usize, interleav
         spec.word_data_bits + check_bits,
         interleave,
     );
-    optimize(model, &geom, Objective::Balanced).metrics.read_energy
+    optimize(model, &geom, Objective::Balanced)
+        .metrics
+        .read_energy
 }
 
 /// Computes the Figure 7 bars for `spec`, normalized to SECDED+Intv2.
-pub fn figure7(model: &CostModel, spec: &CacheSpec, schemes: &[ComparedScheme]) -> Vec<OverheadReport> {
+pub fn figure7(
+    model: &CostModel,
+    spec: &CacheSpec,
+    schemes: &[ComparedScheme],
+) -> Vec<OverheadReport> {
     let baseline = ComparedScheme::Conventional(InterleavedScheme::figure7_baseline());
     let base = raw_overheads(model, spec, &baseline);
     schemes

@@ -146,7 +146,10 @@ impl fmt::Debug for BankedProtectedCache {
             f,
             "BankedProtectedCache({} banks x {}B)",
             self.banks.len(),
-            self.banks.first().map(|b| b.config().capacity()).unwrap_or(0)
+            self.banks
+                .first()
+                .map(|b| b.config().capacity())
+                .unwrap_or(0)
         )
     }
 }

@@ -128,7 +128,7 @@ impl ProtectedCache {
         let total_words = config.sets * config.ways * wpl;
         let data_rows = total_words / config.data_scheme.interleave;
         assert!(
-            total_words % config.data_scheme.interleave == 0,
+            total_words.is_multiple_of(config.data_scheme.interleave),
             "data words must tile into interleaved rows"
         );
         let tag_entries = config.sets * config.ways;
@@ -141,7 +141,9 @@ impl ProtectedCache {
         tag_cfg.vertical_rows = tag_cfg.vertical_rows.min(tag_rows);
         let data = TwoDArray::new(data_cfg);
         let tags = TwoDArray::new(tag_cfg);
-        let lru = (0..config.sets).map(|_| (0..config.ways).collect()).collect();
+        let lru = (0..config.sets)
+            .map(|_| (0..config.ways).collect())
+            .collect();
         ProtectedCache {
             config,
             data,
@@ -169,7 +171,8 @@ impl ProtectedCache {
 
     /// Pre-loads the backing store at `line_addr`.
     pub fn fill_memory(&mut self, line_addr: u64, bytes: [u8; LINE_BYTES]) {
-        self.memory.insert(line_addr & !(LINE_BYTES as u64 - 1), bytes);
+        self.memory
+            .insert(line_addr & !(LINE_BYTES as u64 - 1), bytes);
     }
 
     /// Reads the aligned 64-bit word at `addr`.
@@ -330,7 +333,8 @@ impl ProtectedCache {
     fn write_tag(&mut self, set: usize, way: usize, tag: u64, valid: bool, dirty: bool) {
         let (row, slot) = self.tag_coords(set, way);
         let entry = TagEntry { tag, valid, dirty };
-        self.tags.write_word(row, slot, &entry.to_bits(self.config.tag_scheme.data_bits));
+        self.tags
+            .write_word(row, slot, &entry.to_bits(self.config.tag_scheme.data_bits));
     }
 
     fn lookup(&mut self, set: usize, tag: u64) -> Result<Option<usize>, EngineError> {
@@ -501,6 +505,7 @@ mod tests {
         c.write(0x400, 2).unwrap();
         let _ = c.read(0x0).unwrap(); // 0x400 now LRU
         c.write(0x800, 3).unwrap(); // evicts 0x400
+
         // 0x0 must still hit.
         let hits_before = c.stats().read_hits;
         let _ = c.read(0x0).unwrap();

@@ -72,8 +72,8 @@ impl TwoDScheme {
     pub fn storage_overhead(&self, rows: usize) -> f64 {
         let check = self.horizontal.check_bits(self.data_bits) as f64;
         let horizontal = check / self.data_bits as f64;
-        let vertical = self.vertical_rows as f64 / rows as f64
-            * (1.0 + check / self.data_bits as f64);
+        let vertical =
+            self.vertical_rows as f64 / rows as f64 * (1.0 + check / self.data_bits as f64);
         horizontal + vertical
     }
 

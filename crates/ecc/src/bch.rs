@@ -307,8 +307,7 @@ impl Code for Bch {
         validate_widths(self, data, check);
         let bch_check = check.slice(0, self.gen_degree);
         let stored_overall = check.get(self.gen_degree);
-        let overall_syndrome =
-            data.parity() ^ bch_check.parity() ^ stored_overall;
+        let overall_syndrome = data.parity() ^ bch_check.parity() ^ stored_overall;
         let s = self.syndromes(data, &bch_check);
         let all_zero = s.iter().all(|&x| x == 0);
         if all_zero {
@@ -354,7 +353,10 @@ impl Code for Bch {
             flipped.push(self.data_bits + self.gen_degree);
         }
         flipped.sort_unstable();
-        Decoded::Corrected { data: fixed, flipped }
+        Decoded::Corrected {
+            data: fixed,
+            flipped,
+        }
     }
 
     fn correctable(&self) -> usize {
@@ -413,7 +415,10 @@ mod tests {
         noisy.flip(0);
         noisy.flip(63);
         match code.decode(&noisy, &check) {
-            Decoded::Corrected { data: fixed, flipped } => {
+            Decoded::Corrected {
+                data: fixed,
+                flipped,
+            } => {
                 assert_eq!(fixed, data);
                 assert_eq!(flipped, vec![0, 63]);
             }
@@ -429,7 +434,10 @@ mod tests {
         check.flip(0);
         check.flip(5);
         match code.decode(&data, &check) {
-            Decoded::Corrected { data: fixed, flipped } => {
+            Decoded::Corrected {
+                data: fixed,
+                flipped,
+            } => {
                 assert_eq!(fixed, data);
                 assert_eq!(flipped, vec![64, 69]);
             }
@@ -477,7 +485,10 @@ mod tests {
         let ext = code.check_bits() - 1;
         check.flip(ext);
         match code.decode(&data, &check) {
-            Decoded::Corrected { data: fixed, flipped } => {
+            Decoded::Corrected {
+                data: fixed,
+                flipped,
+            } => {
                 assert_eq!(fixed, data);
                 assert_eq!(flipped, vec![64 + ext]);
             }

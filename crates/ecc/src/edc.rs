@@ -116,7 +116,12 @@ impl Code for Edc {
     }
 
     fn name(&self) -> String {
-        format!("EDC{}({},{})", self.groups, self.codeword_bits(), self.data_bits)
+        format!(
+            "EDC{}({},{})",
+            self.groups,
+            self.codeword_bits(),
+            self.data_bits
+        )
     }
 }
 

@@ -31,18 +31,18 @@ pub struct Gf2m {
 /// for GF(2^m), m = 2..=14. Entry `m - 2` is the full polynomial bit
 /// pattern including the x^m term.
 const PRIMITIVE_POLYS: [u32; 12] = [
-    0b111,             // m=2:  x^2+x+1
-    0b1011,            // m=3:  x^3+x+1
-    0b10011,           // m=4:  x^4+x+1
-    0b100101,          // m=5:  x^5+x^2+1
-    0b1000011,         // m=6:  x^6+x+1
-    0b10001001,        // m=7:  x^7+x^3+1
-    0b100011101,       // m=8:  x^8+x^4+x^3+x^2+1
-    0b1000010001,      // m=9:  x^9+x^4+1
-    0b10000001001,     // m=10: x^10+x^3+1
-    0b100000000101,    // m=11: x^11+x^2+1
-    0b1000001010011,   // m=12: x^12+x^6+x^4+x+1
-    0b10000000011011,  // m=13: x^13+x^4+x^3+x+1
+    0b111,            // m=2:  x^2+x+1
+    0b1011,           // m=3:  x^3+x+1
+    0b10011,          // m=4:  x^4+x+1
+    0b100101,         // m=5:  x^5+x^2+1
+    0b1000011,        // m=6:  x^6+x+1
+    0b10001001,       // m=7:  x^7+x^3+1
+    0b100011101,      // m=8:  x^8+x^4+x^3+x^2+1
+    0b1000010001,     // m=9:  x^9+x^4+1
+    0b10000001001,    // m=10: x^10+x^3+1
+    0b100000000101,   // m=11: x^11+x^2+1
+    0b1000001010011,  // m=12: x^12+x^6+x^4+x+1
+    0b10000000011011, // m=13: x^13+x^4+x^3+x+1
 ];
 
 impl Gf2m {

@@ -41,10 +41,7 @@ fn tree_depth(fan_in: usize) -> u32 {
 
 fn cost_from_weights(weights: &[usize], check_bits: usize) -> LogicCost {
     let xor_depth = weights.iter().copied().map(tree_depth).max().unwrap_or(0);
-    let xor_gates: u64 = weights
-        .iter()
-        .map(|&w| w.saturating_sub(1) as u64)
-        .sum();
+    let xor_gates: u64 = weights.iter().map(|&w| w.saturating_sub(1) as u64).sum();
     LogicCost {
         xor_depth,
         or_depth: tree_depth(weights.len()),

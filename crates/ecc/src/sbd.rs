@@ -64,7 +64,7 @@ impl SecdedSbd {
     pub fn new(data_bits: usize, byte_width: usize) -> Self {
         assert!(data_bits > 0 && byte_width > 0, "empty geometry");
         assert!(
-            data_bits % byte_width == 0,
+            data_bits.is_multiple_of(byte_width),
             "data bits must split into whole bytes"
         );
         // Start from the SECDED-equivalent check count and grow until the
@@ -119,7 +119,7 @@ impl SecdedSbd {
                     }
                     // The candidate must not equal an existing multi-bit
                     // combination of its own byte (it would alias).
-                    if combos.iter().any(|&b| b == cand) {
+                    if combos.contains(&cand) {
                         continue;
                     }
                     // Every multi-bit combination this candidate creates
@@ -238,7 +238,7 @@ impl Code for SecdedSbd {
         }
         // Even-weight syndromes can only arise from multi-bit errors
         // (all columns are odd-weight): detect.
-        if syn.count_ones() % 2 == 0 {
+        if syn.count_ones().is_multiple_of(2) {
             return Decoded::Detected;
         }
         match self.decode_map.get(&syn) {
@@ -309,7 +309,10 @@ mod tests {
             let mut noisy = data.clone();
             noisy.flip(i);
             match code.decode(&noisy, &check) {
-                Decoded::Corrected { data: fixed, flipped } => {
+                Decoded::Corrected {
+                    data: fixed,
+                    flipped,
+                } => {
                     assert_eq!(fixed, data, "bit {i}");
                     assert_eq!(flipped, vec![i]);
                 }
@@ -337,10 +340,7 @@ mod tests {
                 match code.decode(&noisy, &check) {
                     Decoded::Clean => panic!("byte {byte} pattern {pattern:#x} undetected"),
                     Decoded::Corrected { data: fixed, .. } => {
-                        assert_eq!(
-                            fixed, data,
-                            "byte {byte} pattern {pattern:#x} miscorrected"
-                        );
+                        assert_eq!(fixed, data, "byte {byte} pattern {pattern:#x} miscorrected");
                         assert_eq!(pattern.count_ones(), 1, "multi-bit pattern 'corrected'");
                     }
                     Decoded::Detected => {

@@ -249,7 +249,10 @@ mod tests {
             let mut noisy = data.clone();
             noisy.flip(i);
             match code.decode(&noisy, &check) {
-                Decoded::Corrected { data: fixed, flipped } => {
+                Decoded::Corrected {
+                    data: fixed,
+                    flipped,
+                } => {
                     assert_eq!(fixed, data, "bit {i}");
                     assert_eq!(flipped, vec![i]);
                 }
@@ -267,7 +270,10 @@ mod tests {
             let mut noisy_check = check.clone();
             noisy_check.flip(c);
             match code.decode(&data, &noisy_check) {
-                Decoded::Corrected { data: fixed, flipped } => {
+                Decoded::Corrected {
+                    data: fixed,
+                    flipped,
+                } => {
                     assert_eq!(fixed, data, "check bit {c}");
                     assert_eq!(flipped, vec![64 + c]);
                 }
@@ -331,7 +337,10 @@ mod tests {
         // bit of a shortened code covers only the positions above 64, so it
         // may be as small as 8 (7 data positions + its stored check bit).
         for (c, &wi) in w[..7].iter().enumerate() {
-            assert!(wi >= 8 && wi < 72, "syndrome bit {c} weight {wi} implausible");
+            assert!(
+                (8..72).contains(&wi),
+                "syndrome bit {c} weight {wi} implausible"
+            );
         }
         assert!(w[0] > 16, "low syndrome bits should cover many positions");
     }

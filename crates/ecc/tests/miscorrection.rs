@@ -75,7 +75,10 @@ fn dected_beyond_capability_rarely_silent() {
     let code = Bch::new(64, 2);
     let (corrected, detected, silent) = characterize(&code, 4, 300, 2);
     assert_eq!(corrected, 0.0, "4 errors can never be truly corrected");
-    assert!(detected > 0.5, "most weight-4 patterns detected: {detected}");
+    assert!(
+        detected > 0.5,
+        "most weight-4 patterns detected: {detected}"
+    );
     assert!(silent < 0.5, "silent rate {silent}");
 }
 

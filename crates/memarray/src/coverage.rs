@@ -9,8 +9,8 @@
 //! exhaustive/Monte-Carlo coverage sweeps over cluster footprints for both
 //! conventional and 2D banks.
 
-use crate::{ErrorShape, FaultKind, FaultMap, Injector, RowLayout, TwoDArray, TwoDConfig};
 use crate::BitGrid;
+use crate::{ErrorShape, FaultKind, FaultMap, Injector, RowLayout, TwoDArray, TwoDConfig};
 use ecc::{Bits, Code, CodeKind, Decoded};
 use rand::Rng;
 
@@ -136,10 +136,13 @@ pub enum CoverageOutcome {
 /// random data, injects, recovers, and verifies every word.
 pub fn twod_covers<R: Rng>(config: TwoDConfig, shape: ErrorShape, rng: &mut R) -> CoverageOutcome {
     let mut bank = TwoDArray::new(config);
-    let mut reference = vec![vec![Bits::zeros(config.data_bits); bank.words_per_row()]; bank.rows()];
+    let mut reference =
+        vec![vec![Bits::zeros(config.data_bits); bank.words_per_row()]; bank.rows()];
     for r in 0..bank.rows() {
         for w in 0..bank.words_per_row() {
-            let limbs: Vec<u64> = (0..config.data_bits.div_ceil(64)).map(|_| rng.gen()).collect();
+            let limbs: Vec<u64> = (0..config.data_bits.div_ceil(64))
+                .map(|_| rng.gen())
+                .collect();
             let data = Bits::from_limbs(&limbs, config.data_bits);
             bank.write_word(r, w, &data);
             reference[r][w] = data;
@@ -215,8 +218,9 @@ pub fn scattered_flip_outcomes<R: Rng>(
             vec![vec![Bits::zeros(config.data_bits); bank.words_per_row()]; bank.rows()];
         for r in 0..bank.rows() {
             for w in 0..bank.words_per_row() {
-                let limbs: Vec<u64> =
-                    (0..config.data_bits.div_ceil(64)).map(|_| rng.gen()).collect();
+                let limbs: Vec<u64> = (0..config.data_bits.div_ceil(64))
+                    .map(|_| rng.gen())
+                    .collect();
                 let data = Bits::from_limbs(&limbs, config.data_bits);
                 bank.write_word(r, w, &data);
                 reference[r][w] = data;

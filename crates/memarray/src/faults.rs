@@ -289,10 +289,8 @@ mod tests {
     fn single_flip() {
         let mut g = BitGrid::new(4, 4);
         let mut f = FaultMap::new();
-        let report = Injector::new(&mut g, &mut f).inject(
-            ErrorShape::Single { row: 1, col: 2 },
-            FaultKind::Transient,
-        );
+        let report = Injector::new(&mut g, &mut f)
+            .inject(ErrorShape::Single { row: 1, col: 2 }, FaultKind::Transient);
         assert_eq!(report.flipped, vec![(1, 2)]);
         assert!(g.get(1, 2));
         assert!(f.is_empty());
@@ -346,10 +344,8 @@ mod tests {
         let mut g = BitGrid::new(2, 2);
         let mut f = FaultMap::new();
         f.add_stuck(0, 1, false);
-        let report = Injector::new(&mut g, &mut f).inject(
-            ErrorShape::Single { row: 0, col: 1 },
-            FaultKind::Transient,
-        );
+        let report = Injector::new(&mut g, &mut f)
+            .inject(ErrorShape::Single { row: 0, col: 1 }, FaultKind::Transient);
         assert!(report.flipped.is_empty());
     }
 
@@ -381,8 +377,7 @@ mod tests {
         let mut f = FaultMap::new();
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..100 {
-            let report =
-                Injector::new(&mut g, &mut f).inject_random_cluster(&mut rng, 8, 8, 1.0);
+            let report = Injector::new(&mut g, &mut f).inject_random_cluster(&mut rng, 8, 8, 1.0);
             for &(r, c) in &report.flipped {
                 assert!(r < 64 && c < 64);
             }

@@ -190,9 +190,7 @@ mod tests {
     fn contiguous_burst_spreads_across_words() {
         // A burst of `interleave` adjacent data columns hits each word once.
         let layout = RowLayout::new(64, 8, 4);
-        let words: Vec<usize> = (0..4)
-            .map(|c| layout.col_to_word_bit(c).0)
-            .collect();
+        let words: Vec<usize> = (0..4).map(|c| layout.col_to_word_bit(c).0).collect();
         assert_eq!(words, vec![0, 1, 2, 3]);
         // A 32-column burst hits each word in 8 contiguous logical bits.
         for w in 0..4 {

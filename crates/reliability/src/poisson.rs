@@ -5,13 +5,13 @@ pub fn ln_factorial(n: u64) -> f64 {
     const TABLE: [f64; 21] = [
         0.0,
         0.0,
-        0.693_147_180_559_945_3,
+        std::f64::consts::LN_2, // ln 2!
         1.791_759_469_228_055,
         3.178_053_830_347_946,
         4.787_491_742_782_046,
         6.579_251_212_010_101,
         8.525_161_361_065_415,
-        10.604_602_902_745_251,
+        10.604_602_902_745_25,
         12.801_827_480_081_469,
         15.104_412_573_075_516,
         17.502_307_845_873_887,

@@ -21,7 +21,10 @@ fn main() {
         _ => WorkloadProfile::paper_set().to_vec(),
     };
 
-    for (name, cfg) in [("fat CMP", SystemConfig::fat_cmp()), ("lean CMP", SystemConfig::lean_cmp())] {
+    for (name, cfg) in [
+        ("fat CMP", SystemConfig::fat_cmp()),
+        ("lean CMP", SystemConfig::lean_cmp()),
+    ] {
         println!("== {name} ==");
         for w in &workloads {
             let base = run_sim(cfg, ProtectionPolicy::baseline(), *w, DEFAULT_CYCLES, 7);

@@ -14,6 +14,9 @@ use rand::{Rng, SeedableRng};
 const ROWS: usize = 128;
 const TRIALS: usize = 20;
 
+/// A named generator of one random error footprint per trial.
+type Campaign<'a> = (&'a str, Box<dyn Fn(&mut StdRng) -> ErrorShape>);
+
 fn main() {
     let mut rng = StdRng::seed_from_u64(2007);
     let twod = TwoDConfig {
@@ -27,18 +30,30 @@ fn main() {
     println!("error footprint        SECDED+Intv4   OECNED+Intv4   2D(EDC8+I4,EDC32)");
     println!("--------------------   ------------   ------------   -----------------");
 
-    let campaigns: Vec<(&str, Box<dyn Fn(&mut StdRng) -> ErrorShape>)> = vec![
-        ("single bit", Box::new(|r: &mut StdRng| ErrorShape::Single {
-            row: r.gen_range(0..ROWS),
-            col: r.gen_range(0..288),
-        })),
+    let campaigns: Vec<Campaign> = vec![
+        (
+            "single bit",
+            Box::new(|r: &mut StdRng| ErrorShape::Single {
+                row: r.gen_range(0..ROWS),
+                col: r.gen_range(0..288),
+            }),
+        ),
         ("4x4 cluster", Box::new(|r: &mut StdRng| cluster(r, 4, 4))),
         ("8x8 cluster", Box::new(|r: &mut StdRng| cluster(r, 8, 8))),
-        ("16x16 cluster", Box::new(|r: &mut StdRng| cluster(r, 16, 16))),
-        ("32x32 cluster", Box::new(|r: &mut StdRng| cluster(r, 32, 32))),
-        ("full row failure", Box::new(|r: &mut StdRng| ErrorShape::Row {
-            row: r.gen_range(0..ROWS),
-        })),
+        (
+            "16x16 cluster",
+            Box::new(|r: &mut StdRng| cluster(r, 16, 16)),
+        ),
+        (
+            "32x32 cluster",
+            Box::new(|r: &mut StdRng| cluster(r, 32, 32)),
+        ),
+        (
+            "full row failure",
+            Box::new(|r: &mut StdRng| ErrorShape::Row {
+                row: r.gen_range(0..ROWS),
+            }),
+        ),
     ];
 
     for (name, make) in campaigns {

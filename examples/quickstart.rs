@@ -14,7 +14,9 @@ fn main() {
 
     // Write a working set.
     for i in 0..256u64 {
-        cache.write(i * 8, i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).unwrap();
+        cache
+            .write(i * 8, i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .unwrap();
     }
     println!(
         "wrote 256 words; engine issued {} read-before-write reads",

@@ -15,7 +15,10 @@ fn main() {
         .unwrap_or(4000);
 
     let model = YieldModel::l2_16mb();
-    println!("16MB L2 yield vs failing cells ({} words of {} bits):", model.words, model.word_bits);
+    println!(
+        "16MB L2 yield vs failing cells ({} words of {} bits):",
+        model.words, model.word_bits
+    );
     println!();
     let schemes = [
         RepairScheme::SpareRows(128),
@@ -47,7 +50,10 @@ fn main() {
 
     println!();
     println!("In-field risk of ECC-based hard-error repair (10x16MB, 1000 FIT/Mb):");
-    println!("{:>8}{:>12}{:>22}{:>22}{:>22}", "years", "with 2D", "no 2D, HER=0.0005%", "no 2D, HER=0.001%", "no 2D, HER=0.005%");
+    println!(
+        "{:>8}{:>12}{:>22}{:>22}{:>22}",
+        "years", "with 2D", "no 2D, HER=0.0005%", "no 2D, HER=0.001%", "no 2D, HER=0.005%"
+    );
     for years in 0..=5 {
         let y = years as f64;
         print!("{years:>8}{:>11.1}%", 100.0);

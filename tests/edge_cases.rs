@@ -15,7 +15,12 @@ fn codes_work_on_tag_widths() {
     ] {
         let data = Bits::from_u64(0xABCD_EF01_2345, 48);
         let check = code.encode(&data);
-        assert_eq!(code.decode(&data, &check), Decoded::Clean, "{}", code.name());
+        assert_eq!(
+            code.decode(&data, &check),
+            Decoded::Clean,
+            "{}",
+            code.name()
+        );
         let mut noisy = data.clone();
         noisy.flip(47);
         assert_ne!(
@@ -113,7 +118,11 @@ fn overlapping_writes_to_same_word() {
     });
     // Many rewrites of the same word must keep parity exact.
     for i in 0..50u64 {
-        bank.write_word(3, 1, &Bits::from_u64(i.wrapping_mul(0x1234_5678_9ABC_DEF1), 64));
+        bank.write_word(
+            3,
+            1,
+            &Bits::from_u64(i.wrapping_mul(0x1234_5678_9ABC_DEF1), 64),
+        );
     }
     assert!(bank.audit());
 }

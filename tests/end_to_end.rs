@@ -2,7 +2,7 @@
 //! the 2D engine to the protected cache, exercised the way a downstream
 //! user would.
 
-use ecc::{Bits, Code, CodeKind, Decoded};
+use ecc::{Bits, CodeKind, Decoded};
 use memarray::{ErrorShape, TwoDArray, TwoDConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,7 +27,11 @@ fn codeword_survives_storage_and_interleaving() {
         for w in 0..4 {
             let data = layout.extract_data(&row, w);
             let check = layout.extract_check(&row, w);
-            assert_eq!(code.decode(&data, &check), Decoded::Clean, "{kind} word {w}");
+            assert_eq!(
+                code.decode(&data, &check),
+                Decoded::Clean,
+                "{kind} word {w}"
+            );
             assert_eq!(data, reference[w]);
         }
     }
@@ -64,7 +68,11 @@ fn cache_workload_with_interleaved_faults() {
             width: size.min(32),
         });
         for (&addr, &value) in &shadow {
-            assert_eq!(cache.read(addr).unwrap(), value, "batch {batch} addr {addr:#x}");
+            assert_eq!(
+                cache.read(addr).unwrap(),
+                value,
+                "batch {batch} addr {addr:#x}"
+            );
         }
     }
     assert!(cache.audit());

@@ -30,7 +30,11 @@ fn recovery_latency_is_bist_march_class() {
         let report = bank.recover().unwrap();
         // March-class: a small multiple of the row count, never
         // quadratic.
-        assert!(report.cycles >= rows as u64, "rows={rows}: {}", report.cycles);
+        assert!(
+            report.cycles >= rows as u64,
+            "rows={rows}: {}",
+            report.cycles
+        );
         assert!(
             report.cycles <= 8 * rows as u64,
             "rows={rows}: {} cycles is beyond march class",

@@ -1,0 +1,101 @@
+//! Workspace smoke test: the umbrella quickstart (write -> inject an
+//! 8x8 cluster -> read back) must hold for a cache built from *every*
+//! `TwoDScheme` preset, not just the `l1_64kb` configuration the crate
+//! docs show.
+
+use twod_repro::memarray::ErrorShape;
+use twod_repro::twod_cache::{CacheConfig, ProtectedCache, TwoDScheme};
+
+/// Every named protection preset the scheme registry exposes.
+fn presets() -> Vec<(&'static str, TwoDScheme)> {
+    vec![
+        ("l1_paper", TwoDScheme::l1_paper()),
+        ("l2_paper", TwoDScheme::l2_paper()),
+        ("yield_mode", TwoDScheme::yield_mode()),
+    ]
+}
+
+/// A cache config carrying `scheme` on the data array, with the tag
+/// array protected the same way `CacheConfig::l1_64kb` wires it (the
+/// tag word width is narrowed to the tag entry).
+fn config_for(scheme: TwoDScheme) -> CacheConfig {
+    let tag_bits = CacheConfig::l1_64kb().tag_scheme.data_bits;
+    CacheConfig {
+        sets: 512,
+        ways: 2,
+        data_scheme: scheme,
+        tag_scheme: TwoDScheme {
+            data_bits: tag_bits,
+            ..scheme
+        },
+    }
+}
+
+#[test]
+fn quickstart_survives_cluster_on_every_preset() {
+    for (name, scheme) in presets() {
+        let mut cache = ProtectedCache::new(config_for(scheme));
+        cache
+            .write(0x40, 7)
+            .unwrap_or_else(|e| panic!("{name}: write failed: {e:?}"));
+        cache.inject_data_error(ErrorShape::Cluster {
+            row: 0,
+            col: 0,
+            height: 8,
+            width: 8,
+        });
+        let got = cache
+            .read(0x40)
+            .unwrap_or_else(|e| panic!("{name}: read after 8x8 cluster failed: {e:?}"));
+        assert_eq!(got, 7, "{name}: value corrupted by 8x8 cluster");
+    }
+}
+
+#[test]
+fn preset_coverage_matches_paper_guarantees() {
+    // EDC presets guarantee a wide clustered window (32x32 for L1 and
+    // L2 per the paper); yield mode deliberately narrows the guaranteed
+    // horizontal width to its interleave in exchange for in-line
+    // hard-error correction, keeping the full vertical reach.
+    for (name, scheme) in presets() {
+        let (rows, cols) = scheme.coverage();
+        assert_eq!(rows, 32, "{name}: vertical coverage");
+        match name {
+            "l1_paper" | "l2_paper" => {
+                assert_eq!(cols, 32, "{name}: horizontal coverage")
+            }
+            "yield_mode" => assert_eq!(cols, scheme.interleave, "{name}: horizontal coverage"),
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn preset_caches_stay_consistent_under_traffic_after_cluster() {
+    for (name, scheme) in presets() {
+        let mut cache = ProtectedCache::new(config_for(scheme));
+        for i in 0..64u64 {
+            cache
+                .write(0x1000 + i * 8, i * 31)
+                .unwrap_or_else(|e| panic!("{name}: write {i} failed: {e:?}"));
+        }
+        cache.inject_data_error(ErrorShape::Cluster {
+            row: 2,
+            col: 3,
+            height: 8,
+            width: 8,
+        });
+        for i in 0..64u64 {
+            let got = cache
+                .read(0x1000 + i * 8)
+                .unwrap_or_else(|e| panic!("{name}: read {i} failed: {e:?}"));
+            assert_eq!(got, i * 31, "{name}: word {i} corrupted");
+        }
+        // Reads only repair the words they touch; a scrub pass sweeps
+        // residual damage (e.g. hits on parity rows) out of the array.
+        cache
+            .scrub()
+            .unwrap_or_else(|e| panic!("{name}: scrub failed: {e:?}"));
+        assert!(cache.audit(), "{name}: parity audit failed after scrub");
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of the criterion API its benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`] with
+//! `bench_function` / `benchmark_group`, [`BenchmarkGroup`] with
+//! `bench_function` / `bench_with_input` / `sample_size` / `finish`,
+//! and [`Bencher`] with `iter` / `iter_batched` / `iter_with_setup`.
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark is
+//! warmed up briefly and then timed over a fixed wall-clock budget; the
+//! harness reports mean ns/iteration on stdout. Passing `--test` (as
+//! `cargo test --benches` does) or setting `BENCH_QUICK=1` runs each
+//! routine once, so CI smoke jobs stay fast.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. All variants behave the
+/// same in this subset: setup is excluded from the measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier, e.g. built from a swept parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering `parameter` as the benchmark's name.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// The measurement harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    quick: bool,
+    /// Mean nanoseconds per iteration, filled in by an `iter*` call.
+    mean_ns: f64,
+}
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    fn run_timed<F: FnMut() -> Duration>(&mut self, mut timed_pass: F) {
+        if self.quick {
+            let spent = timed_pass();
+            self.mean_ns = spent.as_nanos() as f64;
+            return;
+        }
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            timed_pass();
+        }
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        let started = Instant::now();
+        while started.elapsed() < MEASURE {
+            spent += timed_pass();
+            iters += 1;
+        }
+        self.mean_ns = spent.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Times `routine` repeatedly.
+    ///
+    /// Calls are timed in geometrically growing batches under a single
+    /// clock read per batch, so per-call timer overhead does not bias
+    /// cheap operations (unlike [`Bencher::iter_batched`], which must
+    /// time each call individually to exclude its setup).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            let t = Instant::now();
+            black_box(routine());
+            self.mean_ns = t.elapsed().as_nanos() as f64;
+            return;
+        }
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        let started = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+            if started.elapsed() >= MEASURE {
+                break;
+            }
+            batch = (batch * 2).min(65_536);
+        }
+        self.mean_ns = started.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run_timed(|| {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed()
+        });
+    }
+
+    /// `iter_batched` with `PerIteration` semantics.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, setup: S, routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iter_batched(setup, routine, BatchSize::PerIteration);
+    }
+}
+
+/// The top-level benchmark manager.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the process arguments, honouring the
+    /// `--test` flag `cargo test --benches` passes.
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--quick")
+            || std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+        Criterion { quick }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.quick, id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&mut self) {
+        println!("bench: done");
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(quick: bool, id: &str, mut f: F) {
+    let mut b = Bencher {
+        quick,
+        mean_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.mean_ns.is_nan() {
+        println!("bench: {id:<40} (no measurement)");
+    } else {
+        println!("bench: {id:<40} {:>12.1} ns/iter", b.mean_ns);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count. Accepted for API compatibility; this
+    /// subset sizes runs by wall-clock budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion.quick, &full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion.quick, &full, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates the benchmark `main` for one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher {
+            quick: true,
+            mean_ns: f64::NAN,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn batched_excludes_setup_calls() {
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        let mut b = Bencher {
+            quick: true,
+            mean_ns: f64::NAN,
+        };
+        b.iter_batched(|| setups += 1, |_| runs += 1, BatchSize::SmallInput);
+        assert_eq!((setups, runs), (1, 1));
+    }
+}

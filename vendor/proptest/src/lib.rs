@@ -1,0 +1,420 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of the proptest API its tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, `any::<T>()`,
+//! integer-range and tuple strategies, [`collection::vec`],
+//! [`sample::subsequence`], and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with the sampled inputs
+//!   formatted into the message instead of a minimized counterexample;
+//! * **fixed derived seeds** — each test's RNG is seeded from a hash of
+//!   the test's name, so runs are reproducible without a persistence
+//!   file;
+//! * `prop_assume!` skips the current case without replacement (the
+//!   case still counts toward the case budget).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner configuration (`ProptestConfig` in real proptest).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies ([`TestRng`] in real proptest).
+pub type TestRng = StdRng;
+
+/// Derives the deterministic per-test RNG. Used by [`proptest!`].
+#[doc(hidden)]
+pub fn __seed_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (`Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Rng::gen(rng)
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_standard!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f32, f64
+);
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// A strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuples!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+    A, B, C, D, E, F
+));
+
+/// Sizes accepted by [`collection::vec`] and [`sample::subsequence`].
+pub trait IntoSizeRange {
+    /// Draws a concrete size.
+    fn sample_size(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn sample_size(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn sample_size(&self, rng: &mut TestRng) -> usize {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn sample_size(&self, rng: &mut TestRng) -> usize {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{IntoSizeRange, Strategy, TestRng};
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// A strategy producing `Vec`s of values from `element`, with a
+    /// length drawn from `len` (a `usize` or a range of `usize`).
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_size(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over existing collections.
+pub mod sample {
+    use super::{IntoSizeRange, Strategy, TestRng};
+
+    /// The strategy returned by [`subsequence`].
+    #[derive(Clone, Debug)]
+    pub struct Subsequence<T, L> {
+        values: Vec<T>,
+        len: L,
+    }
+
+    /// A strategy producing order-preserving random subsequences of
+    /// `values` whose length is drawn from `len`.
+    pub fn subsequence<T: Clone, L: IntoSizeRange>(values: Vec<T>, len: L) -> Subsequence<T, L> {
+        Subsequence { values, len }
+    }
+
+    impl<T: Clone, L: IntoSizeRange> Strategy for Subsequence<T, L> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.len.sample_size(rng).min(self.values.len());
+            // Partial Fisher-Yates over the index set, then restore
+            // original order so the subsequence is order-preserving.
+            let mut idx: Vec<usize> = (0..self.values.len()).collect();
+            for i in 0..n {
+                let j = rand::Rng::gen_range(rng, i..idx.len());
+                idx.swap(i, j);
+            }
+            let mut picked: Vec<usize> = idx[..n].to_vec();
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// The usual proptest imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Config as ProptestConfig, Just, Strategy,
+    };
+}
+
+/// Defines property tests.
+///
+/// Supports the subset of real proptest syntax this workspace uses: an
+/// optional `#![proptest_config(expr)]` header followed by test
+/// functions whose arguments are drawn from strategies with
+/// `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::Config as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::Config = $cfg;
+                let mut __rng = $crate::__seed_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    // One closure call per case: `prop_assume!` skips a
+                    // case by returning early from the closure.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| {
+                        $body
+                    })();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, panicking with the
+/// formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn subsequence_preserves_order_and_distinctness() {
+        let strat = crate::sample::subsequence((0..16usize).collect::<Vec<_>>(), 1..8);
+        let mut rng = crate::__seed_rng("subsequence_test");
+        for _ in 0..200 {
+            let s = Strategy::sample(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() < 8);
+            assert!(
+                s.windows(2).all(|w| w[0] < w[1]),
+                "not sorted-distinct: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        let strat = crate::collection::vec(any::<u64>(), 3..6);
+        let mut rng = crate::__seed_rng("vec_test");
+        for _ in 0..200 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!((3..6).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_draws_within_ranges(x in 0usize..10, y in 5u64..=6, pair in (0u8..4, any::<bool>())) {
+            prop_assert!(x < 10);
+            prop_assert!(y == 5 || y == 6);
+            prop_assert!(pair.0 < 4);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}
