@@ -3,13 +3,22 @@
 //! `BENCH_codecs.json` and `BENCH_engine.json`.
 //!
 //! These artifacts seed the performance baseline that later optimization
-//! PRs are measured against; CI uploads them on every push.
+//! PRs are measured against; CI uploads them on every push and
+//! `scripts/bench_gate.py` fails the build when a measurement regresses
+//! past the documented tolerance.
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf               # full run, ./BENCH_*.json
 //! cargo run --release -p bench --bin perf -- --quick    # CI smoke (bounded iterations)
 //! cargo run --release -p bench --bin perf -- --out-dir target/bench
+//! cargo run --release -p bench --bin perf -- --filter oecned   # subset, print-only
 //! ```
+//!
+//! Codec measurements cover three paths per codec: `encode` (check-bit
+//! generation), `decode_clean` (the every-access syndrome check), and
+//! `decode_dirty` (the syndrome-plus-correction path with `max(t, 1)`
+//! bit flips injected — for BCH codes this exercises Berlekamp–Massey
+//! and the Chien search).
 
 use ecc::{Bch, Bits, Code, CodeKind, Edc, Secded};
 use memarray::{ErrorShape, TwoDArray, TwoDConfig};
@@ -58,38 +67,74 @@ impl Budget {
     }
 }
 
-/// Times `routine` and returns (mean ns/op, iterations measured).
-///
-/// Runs geometrically growing chunks and re-checks the wall-clock
-/// budget between chunks, so cheap operations accumulate enough
-/// iterations to be stable while slow ones (recovery marches) overshoot
-/// the budget by at most one chunk (~2x worst case), not a fixed
-/// iteration count.
-fn measure<O, F: FnMut() -> O>(budget: &Budget, mut routine: F) -> (f64, u64) {
-    let warm_started = Instant::now();
-    for _ in 0..budget.warmup_iters {
-        black_box(routine());
-        if warm_started.elapsed().as_nanos() >= budget.warmup_ns {
-            break;
-        }
-    }
-    let mut iters: u64 = 0;
-    let mut chunk: u64 = 1;
-    let started = Instant::now();
-    loop {
-        for _ in 0..chunk {
-            black_box(routine());
-        }
-        iters += chunk;
-        if started.elapsed().as_nanos() >= budget.target_ns && iters >= budget.min_iters {
-            break;
-        }
-        chunk = (chunk * 2).min(4_096);
-    }
-    (started.elapsed().as_nanos() as f64 / iters as f64, iters)
+/// Shared measurement driver for the codec and engine sections: owns the
+/// budget, applies the `--filter` substring to `name.op` keys, and
+/// accumulates samples.
+struct Runner {
+    budget: Budget,
+    filter: Option<String>,
+    samples: Vec<Sample>,
 }
 
-fn codec_samples(budget: &Budget) -> Vec<Sample> {
+impl Runner {
+    fn new(budget: Budget, filter: Option<String>) -> Self {
+        Runner {
+            budget,
+            filter,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` under the budget and records the sample, unless
+    /// the `name.op` key does not match the active filter.
+    fn bench<O, F: FnMut() -> O>(&mut self, name: &'static str, op: &'static str, mut routine: F) {
+        if let Some(f) = &self.filter {
+            let key = format!("{name}.{op}");
+            if !key.contains(f.as_str()) {
+                return;
+            }
+        }
+        let budget = &self.budget;
+        let warm_started = Instant::now();
+        for _ in 0..budget.warmup_iters {
+            black_box(routine());
+            if warm_started.elapsed().as_nanos() >= budget.warmup_ns {
+                break;
+            }
+        }
+        // Geometrically growing chunks, re-checking the wall-clock budget
+        // between chunks: cheap operations accumulate enough iterations
+        // to be stable while slow ones (recovery marches) overshoot the
+        // budget by at most one chunk, not a fixed iteration count.
+        let mut iters: u64 = 0;
+        let mut chunk: u64 = 1;
+        let started = Instant::now();
+        loop {
+            for _ in 0..chunk {
+                black_box(routine());
+            }
+            iters += chunk;
+            if started.elapsed().as_nanos() >= budget.target_ns && iters >= budget.min_iters {
+                break;
+            }
+            chunk = (chunk * 2).min(4_096);
+        }
+        self.samples.push(Sample {
+            name,
+            op,
+            mean_ns: started.elapsed().as_nanos() as f64 / iters as f64,
+            iters,
+        });
+    }
+
+    /// Drains the samples accumulated since the last call.
+    fn take_samples(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.samples)
+    }
+}
+
+/// The per-codec benchmark set over 64-bit words.
+fn codec_samples(runner: &mut Runner) -> Vec<Sample> {
     let data = Bits::from_u64(0x0123_4567_89AB_CDEF, 64);
     let codecs: Vec<(&'static str, Box<dyn Code>)> = vec![
         ("edc8", Box::new(Edc::new(64, 8))),
@@ -99,25 +144,25 @@ fn codec_samples(budget: &Budget) -> Vec<Sample> {
         ("qecped", Box::new(Bch::new(64, 4))),
         ("oecned", Box::new(Bch::new(64, 8))),
     ];
-    let mut out = Vec::new();
     for (name, code) in &codecs {
-        let (mean_ns, iters) = measure(budget, || code.encode(black_box(&data)));
-        out.push(Sample {
-            name,
-            op: "encode",
-            mean_ns,
-            iters,
-        });
+        runner.bench(name, "encode", || code.encode(black_box(&data)));
         let check = code.encode(&data);
-        let (mean_ns, iters) = measure(budget, || code.decode(black_box(&data), black_box(&check)));
-        out.push(Sample {
-            name,
-            op: "decode_clean",
-            mean_ns,
-            iters,
+        runner.bench(name, "decode_clean", || {
+            code.decode(black_box(&data), black_box(&check))
+        });
+        // Dirty decode: max(t, 1) spread flips force the full syndrome /
+        // correction path (Berlekamp–Massey + Chien for the BCH family,
+        // detection for EDC, single-bit correction for SECDED).
+        let flips = code.correctable().max(1);
+        let mut noisy = data.clone();
+        for f in 0..flips {
+            noisy.flip((f * 64) / flips + 1);
+        }
+        runner.bench(name, "decode_dirty", || {
+            code.decode(black_box(&noisy), black_box(&check))
         });
     }
-    out
+    runner.take_samples()
 }
 
 fn paper_config(rows: usize) -> TwoDConfig {
@@ -130,41 +175,28 @@ fn paper_config(rows: usize) -> TwoDConfig {
     }
 }
 
-fn engine_samples(budget: &Budget) -> Vec<Sample> {
-    let mut out = Vec::new();
-
+/// The 2D-array engine benchmark set over the paper's 256-row bank.
+fn engine_samples(runner: &mut Runner) -> Vec<Sample> {
     // Write path: read-before-write + vertical parity update.
     let mut bank = TwoDArray::new(paper_config(256));
     let word = Bits::from_u64(0x1234_5678_9ABC_DEF0, 64);
     let mut i = 0usize;
-    let (mean_ns, iters) = measure(budget, || {
+    runner.bench("twod_array", "write_word", || {
         bank.write_word(i % 256, i % 4, black_box(&word));
         i = i.wrapping_add(1);
-    });
-    out.push(Sample {
-        name: "twod_array",
-        op: "write_word",
-        mean_ns,
-        iters,
     });
 
     // Clean read path: horizontal detection only.
     let mut i = 0usize;
-    let (mean_ns, iters) = measure(budget, || {
+    runner.bench("twod_array", "read_word_clean", || {
         let r = bank.read_word(i % 256, i % 4).unwrap();
         i = i.wrapping_add(1);
         r
     });
-    out.push(Sample {
-        name: "twod_array",
-        op: "read_word_clean",
-        mean_ns,
-        iters,
-    });
 
     // Recovery march over a 16x16 cluster (setup excluded per pass, so
     // this measures inject + recover; injection is a tiny fraction).
-    let (mean_ns, iters) = measure(budget, || {
+    runner.bench("twod_array", "recover_cluster_16x16", || {
         bank.inject(ErrorShape::Cluster {
             row: 1,
             col: 0,
@@ -173,14 +205,8 @@ fn engine_samples(budget: &Budget) -> Vec<Sample> {
         });
         bank.recover().unwrap()
     });
-    out.push(Sample {
-        name: "twod_array",
-        op: "recover_cluster_16x16",
-        mean_ns,
-        iters,
-    });
 
-    out
+    runner.take_samples()
 }
 
 fn render_json(mode: &str, samples: &[Sample]) -> String {
@@ -201,10 +227,14 @@ fn render_json(mode: &str, samples: &[Sample]) -> String {
     s
 }
 
-fn emit(path: &Path, mode: &str, samples: &[Sample]) {
-    std::fs::write(path, render_json(mode, samples))
-        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-    println!("wrote {} ({} results)", path.display(), samples.len());
+fn emit(path: &Path, mode: &str, samples: &[Sample], print_only: bool) {
+    if print_only {
+        println!("{} (print-only, --filter active)", path.display());
+    } else {
+        std::fs::write(path, render_json(mode, samples))
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("wrote {} ({} results)", path.display(), samples.len());
+    }
     for r in samples {
         println!("  {:<12} {:<22} {:>12.1} ns/op", r.name, r.op, r.mean_ns);
     }
@@ -214,6 +244,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
     let mut out_dir = PathBuf::from(".");
+    let mut filter: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -228,8 +259,23 @@ fn main() {
                     });
                 out_dir = PathBuf::from(dir);
             }
+            "--filter" => {
+                let f = it
+                    .next()
+                    .filter(|v| !v.starts_with("--"))
+                    .unwrap_or_else(|| {
+                        eprintln!("--filter needs a substring");
+                        std::process::exit(2);
+                    });
+                filter = Some(f.clone());
+            }
             "--help" | "-h" => {
-                println!("usage: perf [--quick] [--out-dir DIR]");
+                println!("usage: perf [--quick] [--out-dir DIR] [--filter SUBSTR]");
+                println!();
+                println!("  --filter matches against `name.op` keys (e.g. 'oecned',");
+                println!("  'encode', 'twod_array.recover'). Filtered runs print the");
+                println!("  results without writing BENCH_*.json, so a subset run can");
+                println!("  never clobber a committed full baseline.");
                 return;
             }
             other => {
@@ -244,14 +290,15 @@ fn main() {
     } else {
         (Budget::full(), "full")
     };
-    emit(
-        &out_dir.join("BENCH_codecs.json"),
-        mode,
-        &codec_samples(&budget),
-    );
+    let print_only = filter.is_some();
+    let mut runner = Runner::new(budget, filter);
+    let codec = codec_samples(&mut runner);
+    emit(&out_dir.join("BENCH_codecs.json"), mode, &codec, print_only);
+    let engine = engine_samples(&mut runner);
     emit(
         &out_dir.join("BENCH_engine.json"),
         mode,
-        &engine_samples(&budget),
+        &engine,
+        print_only,
     );
 }

@@ -49,6 +49,19 @@ pub struct Bch {
     generator: Bits,
     /// Degree of the generator polynomial = BCH parity bits.
     gen_degree: usize,
+    /// Parity matrix rows packed as `u128`: `parity_rows[i]` is the BCH
+    /// remainder of `x^(gen_degree + i) mod g(x)`, i.e. the check-bit
+    /// contribution of data bit `i`. Encoding is an XOR-accumulate of
+    /// these rows over the set data bits (`gen_degree <= 72` for every
+    /// supported geometry, so one `u128` always suffices).
+    parity_rows: Vec<u128>,
+    /// Flattened per-position syndrome contributions:
+    /// `syn_table[pos * 2t + j] = alpha^(pos * (j+1))`, for every codeword
+    /// position `pos` in `0..gen_degree + data_bits`. Syndrome computation
+    /// is a table-row XOR per set bit instead of exponent arithmetic.
+    syn_table: Vec<u32>,
+    /// Chien-search table: `chien[pos] = alpha^(-pos)`.
+    chien: Vec<u32>,
 }
 
 impl Bch {
@@ -69,12 +82,46 @@ impl Bch {
             let gen_degree = generator.len() - 1;
             let n = (1usize << m) - 1;
             if data_bits + gen_degree <= n {
+                assert!(
+                    gen_degree < 128,
+                    "generator degree {gen_degree} exceeds the u128 parity-row packing"
+                );
+                // Parity matrix: row i = x^(gen_degree + i) mod g(x),
+                // computed incrementally (shift, conditional XOR of g).
+                let mut g_mask = 0u128;
+                for j in generator.iter_ones() {
+                    g_mask |= 1u128 << j;
+                }
+                let top = 1u128 << gen_degree;
+                // x^gen_degree mod g = g minus its leading term (GF(2)).
+                let mut row = g_mask ^ top;
+                let mut parity_rows = Vec::with_capacity(data_bits);
+                for _ in 0..data_bits {
+                    parity_rows.push(row);
+                    row <<= 1;
+                    if row & top != 0 {
+                        row ^= g_mask;
+                    }
+                }
+                // Syndrome contributions for every codeword position.
+                let n_used = gen_degree + data_bits;
+                let mut syn_table = Vec::with_capacity(n_used * 2 * t);
+                let mut chien = Vec::with_capacity(n_used);
+                for pos in 0..n_used {
+                    for j in 1..=(2 * t) {
+                        syn_table.push(field.alpha_pow((pos * j) as i64));
+                    }
+                    chien.push(field.alpha_pow(-(pos as i64)));
+                }
                 return Bch {
                     data_bits,
                     t,
                     field,
                     generator,
                     gen_degree,
+                    parity_rows,
+                    syn_table,
+                    chien,
                 };
             }
         }
@@ -161,8 +208,11 @@ impl Bch {
         bits
     }
 
-    /// Computes the BCH parity of `data` as the remainder of
-    /// `x^deg(g) * d(x) mod g(x)`.
+    /// Reference bit-serial computation of the BCH parity of `data` as
+    /// the remainder of `x^deg(g) * d(x) mod g(x)` (LFSR long division).
+    /// Retained as the executable specification the precomputed
+    /// parity-matrix path must match bit-for-bit; exercised by the
+    /// equivalence property tests.
     fn bch_remainder(&self, data: &Bits) -> Bits {
         // Work in a register of gen_degree bits (LFSR division).
         let mut rem = Bits::zeros(self.gen_degree);
@@ -181,11 +231,39 @@ impl Bch {
         rem
     }
 
-    /// Power-sum syndromes S_1..S_2t of the stored codeword.
+    /// Power-sum syndromes S_1..S_2t of the stored codeword, computed by
+    /// XOR-accumulating precomputed `alpha^(pos*(j+1))` table rows over
+    /// the set bits — no exponent arithmetic on the hot path.
     ///
     /// Codeword coefficient layout: positions `0..gen_degree` hold the BCH
     /// parity (check bits), positions `gen_degree..gen_degree+k` hold data.
-    fn syndromes(&self, data: &Bits, check: &Bits) -> Vec<u32> {
+    /// `check` may be the full stored check word; bits at or above
+    /// `gen_degree` (the extended parity bit) are ignored.
+    pub fn syndromes(&self, data: &Bits, check: &Bits) -> Vec<u32> {
+        let width = 2 * self.t;
+        let mut s = vec![0u32; width];
+        for i in data.iter_ones() {
+            let row = &self.syn_table[(self.gen_degree + i) * width..][..width];
+            for (sj, &r) in s.iter_mut().zip(row) {
+                *sj ^= r;
+            }
+        }
+        for i in check.iter_ones() {
+            if i < self.gen_degree {
+                let row = &self.syn_table[i * width..][..width];
+                for (sj, &r) in s.iter_mut().zip(row) {
+                    *sj ^= r;
+                }
+            }
+        }
+        s
+    }
+
+    /// Reference bit-serial syndrome computation using per-bit exponent
+    /// arithmetic (`alpha_pow(pos * j)`). Retained as the executable
+    /// specification [`Bch::syndromes`] must match element-for-element;
+    /// exercised by the equivalence property tests.
+    pub fn syndromes_reference(&self, data: &Bits, check: &Bits) -> Vec<u32> {
         let mut s = vec![0u32; 2 * self.t];
         let add_position = |pos: usize, s: &mut Vec<u32>| {
             for (j, sj) in s.iter_mut().enumerate() {
@@ -202,6 +280,33 @@ impl Bch {
             }
         }
         s
+    }
+
+    /// Reference bit-serial encoder (LFSR polynomial division). Retained
+    /// as the executable specification [`Code::encode`] must match
+    /// bit-for-bit; exercised by the equivalence property tests.
+    pub fn encode_reference(&self, data: &Bits) -> Bits {
+        assert_eq!(data.len(), self.data_bits, "data width mismatch");
+        let rem = self.bch_remainder(data);
+        let overall = data.parity() ^ rem.parity();
+        let mut check = Bits::zeros(self.check_bits());
+        check.write_slice(0, &rem);
+        check.set(self.gen_degree, overall);
+        check
+    }
+
+    /// BCH remainder plus extended parity packed in a `u128`: bits
+    /// `0..gen_degree` are the remainder, bit `gen_degree` the overall
+    /// parity bit. This is the table-driven encode core.
+    #[inline]
+    fn encode_packed(&self, data: &Bits) -> u128 {
+        let mut acc = 0u128;
+        for i in data.iter_ones() {
+            acc ^= self.parity_rows[i];
+        }
+        let rem_parity = acc.count_ones() & 1 == 1;
+        let overall = data.parity() ^ rem_parity;
+        acc | (u128::from(overall) << self.gen_degree)
     }
 
     /// Berlekamp–Massey: returns the error-locator polynomial sigma
@@ -267,8 +372,9 @@ impl Bch {
         let n_used = self.gen_degree + self.data_bits;
         let mut positions = Vec::with_capacity(degree);
         for pos in 0..n_used {
-            // error locator root test: sigma(alpha^{-pos}) == 0
-            let x = self.field.alpha_pow(-(pos as i64));
+            // error locator root test: sigma(alpha^{-pos}) == 0, with the
+            // precomputed Chien table supplying alpha^{-pos}.
+            let x = self.chien[pos];
             if self.field.eval_poly(sigma, x) == 0 {
                 positions.push(pos);
                 if positions.len() == degree {
@@ -295,20 +401,30 @@ impl Code for Bch {
 
     fn encode(&self, data: &Bits) -> Bits {
         assert_eq!(data.len(), self.data_bits, "data width mismatch");
-        let rem = self.bch_remainder(data);
-        let overall = data.parity() ^ rem.parity();
-        let mut check = Bits::zeros(self.check_bits());
-        check.write_slice(0, &rem);
-        check.set(self.gen_degree, overall);
-        check
+        let packed = self.encode_packed(data);
+        Bits::from_limbs(&[packed as u64, (packed >> 64) as u64], self.check_bits())
+    }
+
+    fn check_clean(&self, data: &Bits, check: &Bits) -> bool {
+        validate_widths(self, data, check);
+        // Re-encoding via the parity matrix and comparing limbs is far
+        // cheaper than computing 2t power syndromes.
+        let packed = self.encode_packed(data);
+        let limbs = check.as_limbs();
+        limbs[0] == packed as u64 && (limbs.len() < 2 || limbs[1] == (packed >> 64) as u64)
     }
 
     fn decode(&self, data: &Bits, check: &Bits) -> Decoded {
         validate_widths(self, data, check);
-        let bch_check = check.slice(0, self.gen_degree);
-        let stored_overall = check.get(self.gen_degree);
-        let overall_syndrome = data.parity() ^ bch_check.parity() ^ stored_overall;
-        let s = self.syndromes(data, &bch_check);
+        // Fast path: a clean word re-encodes to its stored check, which
+        // is much cheaper to test than computing 2t power syndromes.
+        if self.check_clean(data, check) {
+            return Decoded::Clean;
+        }
+        // The stored check word's parity folds the BCH-part parity and the
+        // extended bit together, so the overall syndrome needs no slicing.
+        let overall_syndrome = data.parity() ^ check.parity();
+        let s = self.syndromes(data, check);
         let all_zero = s.iter().all(|&x| x == 0);
         if all_zero {
             if !overall_syndrome {

@@ -132,11 +132,111 @@ impl Bits {
     /// # Panics
     ///
     /// Panics if lengths differ.
+    #[inline]
     pub fn xor_assign(&mut self, other: &Bits) {
         assert_eq!(self.len, other.len, "length mismatch in xor");
         for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
             *a ^= *b;
         }
+    }
+
+    /// ANDs `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[inline]
+    pub fn and_assign(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "length mismatch in and");
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a &= *b;
+        }
+    }
+
+    /// Returns `self & other` without mutating either operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and(&self, other: &Bits) -> Bits {
+        let mut out = self.clone();
+        out.and_assign(other);
+        out
+    }
+
+    /// ORs `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[inline]
+    pub fn or_assign(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "length mismatch in or");
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a |= *b;
+        }
+    }
+
+    /// Clears every bit in place without reallocating (scratch-buffer
+    /// reuse for hot loops).
+    #[inline]
+    pub fn clear(&mut self) {
+        for l in &mut self.limbs {
+            *l = 0;
+        }
+    }
+
+    /// Overwrites `self` with `other` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[inline]
+    pub fn copy_from(&mut self, other: &Bits) {
+        assert_eq!(self.len, other.len, "length mismatch in copy_from");
+        self.limbs.copy_from_slice(&other.limbs);
+    }
+
+    /// Overwrites `self` from a little-endian limb slice without
+    /// reallocating. The slice must supply exactly the limbs this vector
+    /// stores; tail bits beyond `len` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limbs.len()` differs from the internal limb count.
+    #[inline]
+    pub fn copy_from_limbs(&mut self, limbs: &[u64]) {
+        assert_eq!(limbs.len(), self.limbs.len(), "limb count mismatch");
+        self.limbs.copy_from_slice(limbs);
+        self.mask_tail();
+    }
+
+    /// Parity of `self & mask` without allocating: `true` when an odd
+    /// number of bits are set in the intersection. This is the hot
+    /// primitive behind matrix-row syndrome checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[inline]
+    pub fn masked_parity(&self, mask: &Bits) -> bool {
+        assert_eq!(self.len, mask.len, "length mismatch in masked_parity");
+        let mut acc = 0u64;
+        for (a, b) in self.limbs.iter().zip(&mask.limbs) {
+            acc ^= a & b;
+        }
+        acc.count_ones() & 1 == 1
+    }
+
+    /// Whether `self & mask` has any bit set, without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[inline]
+    pub fn intersects(&self, mask: &Bits) -> bool {
+        assert_eq!(self.len, mask.len, "length mismatch in intersects");
+        self.limbs.iter().zip(&mask.limbs).any(|(a, b)| a & b != 0)
     }
 
     /// Returns `self ^ other` without mutating either operand.
@@ -151,22 +251,28 @@ impl Bits {
     }
 
     /// Number of set bits.
+    #[inline]
     pub fn count_ones(&self) -> usize {
         self.limbs.iter().map(|l| l.count_ones() as usize).sum()
     }
 
     /// Whether every bit is zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.limbs.iter().all(|&l| l == 0)
     }
 
     /// Overall (even) parity of the vector: `true` when an odd number of
-    /// bits are set.
+    /// bits are set. Computed limb-wise: one XOR fold and a single
+    /// popcount, never a per-bit loop.
+    #[inline]
     pub fn parity(&self) -> bool {
-        self.count_ones() % 2 == 1
+        let acc = self.limbs.iter().fold(0u64, |a, &l| a ^ l);
+        acc.count_ones() & 1 == 1
     }
 
     /// Iterator over the indices of set bits, in increasing order.
+    #[inline]
     pub fn iter_ones(&self) -> IterOnes<'_> {
         IterOnes {
             bits: self,
@@ -177,29 +283,63 @@ impl Bits {
 
     /// Copies `count` bits starting at `start` into a new vector.
     ///
+    /// Works limb-at-a-time: each output limb is assembled from at most
+    /// two input limbs via shifts, regardless of alignment.
+    ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, start: usize, count: usize) -> Bits {
         assert!(start + count <= self.len, "slice out of range");
         let mut out = Bits::zeros(count);
-        for i in 0..count {
-            if self.get(start + i) {
-                out.set(i, true);
-            }
+        let shift = start % 64;
+        let base = start / 64;
+        for (o, dst) in out.limbs.iter_mut().enumerate() {
+            let lo = self.limbs.get(base + o).copied().unwrap_or(0);
+            *dst = if shift == 0 {
+                lo
+            } else {
+                let hi = self.limbs.get(base + o + 1).copied().unwrap_or(0);
+                (lo >> shift) | (hi << (64 - shift))
+            };
         }
+        out.mask_tail();
         out
     }
 
     /// Overwrites `count` bits starting at `start` from `src`.
+    ///
+    /// Works limb-at-a-time: each source limb is merged into at most two
+    /// destination limbs via shifts and masks, regardless of alignment.
     ///
     /// # Panics
     ///
     /// Panics if the ranges are out of bounds.
     pub fn write_slice(&mut self, start: usize, src: &Bits) {
         assert!(start + src.len() <= self.len, "write_slice out of range");
-        for i in 0..src.len() {
-            self.set(start + i, src.get(i));
+        let shift = start % 64;
+        let base = start / 64;
+        let mut remaining = src.len();
+        for (s, &limb) in src.limbs.iter().enumerate() {
+            // Number of valid bits in this source limb.
+            let valid = remaining.min(64);
+            remaining -= valid;
+            let vmask = if valid == 64 {
+                !0u64
+            } else {
+                (1u64 << valid) - 1
+            };
+            let limb = limb & vmask;
+            // Low part: the portion of the source limb that fits in
+            // destination limb `base + s` (high bits shift out naturally).
+            let dst = &mut self.limbs[base + s];
+            *dst = (*dst & !(vmask << shift)) | (limb << shift);
+            // High part spills into the next destination limb.
+            if shift != 0 && valid + shift > 64 {
+                let hi_mask = (1u64 << (valid + shift - 64)) - 1;
+                let dst = &mut self.limbs[base + s + 1];
+                *dst = (*dst & !hi_mask) | (limb >> (64 - shift));
+            }
         }
     }
 
@@ -384,6 +524,123 @@ mod tests {
         let c = a.concat(&b);
         assert_eq!(c.len(), 6);
         assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![0, 5]);
+    }
+
+    #[test]
+    fn slice_across_limb_boundary() {
+        // Slice windows straddling the 64-bit limb boundary at unaligned
+        // offsets must match the per-bit definition exactly.
+        let b = Bits::from_positions(200, &[0, 5, 60, 63, 64, 65, 100, 127, 128, 199]);
+        for &(start, count) in &[
+            (0usize, 200usize),
+            (1, 130),
+            (60, 10),
+            (63, 2),
+            (59, 70),
+            (127, 3),
+            (130, 70),
+            (199, 1),
+            (37, 0),
+        ] {
+            let s = b.slice(start, count);
+            assert_eq!(s.len(), count);
+            for i in 0..count {
+                assert_eq!(
+                    s.get(i),
+                    b.get(start + i),
+                    "start={start} count={count} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn write_slice_across_limb_boundary() {
+        // Writes at unaligned offsets must only touch the target window.
+        let src = Bits::from_positions(70, &[0, 1, 63, 64, 69]);
+        for &start in &[0usize, 1, 37, 58, 63, 64, 65, 120] {
+            let mut dst = Bits::ones(200);
+            dst.write_slice(start, &src);
+            for i in 0..200 {
+                let expected = if (start..start + 70).contains(&i) {
+                    src.get(i - start)
+                } else {
+                    true
+                };
+                assert_eq!(dst.get(i), expected, "start={start} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_slice_zero_width_is_noop() {
+        let mut dst = Bits::from_positions(10, &[3]);
+        dst.write_slice(7, &Bits::zeros(0));
+        assert_eq!(dst.iter_ones().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn xor_assign_unaligned_lengths() {
+        // Non-64-aligned vectors: the tail limb carries fewer than 64 bits
+        // and must XOR without disturbing anything past `len`.
+        for len in [1usize, 63, 65, 127, 130] {
+            let a = Bits::from_positions(len, &[0, len - 1]);
+            let mut b = Bits::ones(len);
+            b.xor_assign(&a);
+            assert_eq!(b.count_ones(), len - a.count_ones());
+            assert!(!b.get(0));
+            assert!(!b.get(len - 1));
+        }
+    }
+
+    #[test]
+    fn and_or_assign() {
+        let a = Bits::from_positions(130, &[0, 64, 129]);
+        let b = Bits::from_positions(130, &[64, 100, 129]);
+        let mut c = a.clone();
+        c.and_assign(&b);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![64, 129]);
+        assert_eq!(a.and(&b), c);
+        let mut d = a.clone();
+        d.or_assign(&b);
+        assert_eq!(d.iter_ones().collect::<Vec<_>>(), vec![0, 64, 100, 129]);
+    }
+
+    #[test]
+    fn masked_parity_and_intersects() {
+        let a = Bits::from_positions(130, &[1, 2, 64, 129]);
+        let all = Bits::ones(130);
+        assert!(!a.masked_parity(&all)); // 4 ones -> even
+        let m = Bits::from_positions(130, &[1, 64, 129]);
+        assert!(a.masked_parity(&m)); // 3-way intersection -> odd
+        assert!(a.intersects(&m));
+        assert!(!a.intersects(&Bits::from_positions(130, &[3, 70])));
+    }
+
+    #[test]
+    fn clear_and_copy_from() {
+        let mut a = Bits::ones(70);
+        a.clear();
+        assert!(a.is_zero());
+        let b = Bits::from_positions(70, &[69]);
+        a.copy_from(&b);
+        assert_eq!(a, b);
+        a.copy_from_limbs(&[!0u64, !0u64]);
+        assert_eq!(a.count_ones(), 70, "tail bits masked");
+    }
+
+    #[test]
+    fn parity_limbwise_matches_popcount_parity() {
+        for len in [1usize, 64, 65, 127, 128, 200] {
+            let mut b = Bits::zeros(len);
+            let mut expect = false;
+            for i in (0..len).step_by(7) {
+                b.set(i, true);
+                expect = !expect;
+            }
+            assert_eq!(b.parity(), expect, "len={len}");
+            assert_eq!(b.parity(), b.count_ones() % 2 == 1, "len={len}");
+        }
     }
 
     #[test]

@@ -91,6 +91,38 @@ pub trait Code {
     /// Panics if `data` or `check` have the wrong width.
     fn decode(&self, data: &Bits, check: &Bits) -> Decoded;
 
+    /// Whether the stored pair is clean, i.e. [`Code::decode`] would
+    /// return [`Decoded::Clean`]. Hot paths call this on every access;
+    /// implementations override it with an allocation-free syndrome
+    /// check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` or `check` have the wrong width.
+    fn check_clean(&self, data: &Bits, check: &Bits) -> bool {
+        self.decode(data, check).is_clean()
+    }
+
+    /// The code's parity matrix in systematic form: entry `i` is the
+    /// check word of the `i`-th data unit vector, so for any word
+    /// `encode(d) = XOR of parity_matrix()[i] over the set bits of d`.
+    ///
+    /// Every code in this crate is linear over GF(2), which makes this
+    /// matrix exact; the default implementation derives it by encoding
+    /// unit vectors and is intended for construction-time precomputation
+    /// (e.g. row-level clean masks in `memarray`), not for hot loops.
+    fn parity_matrix(&self) -> Vec<Bits> {
+        let k = self.data_bits();
+        let mut rows = Vec::with_capacity(k);
+        let mut unit = Bits::zeros(k);
+        for i in 0..k {
+            unit.set(i, true);
+            rows.push(self.encode(&unit));
+            unit.set(i, false);
+        }
+        rows
+    }
+
     /// Maximum number of random bit errors the code is guaranteed to
     /// correct (0 for detection-only codes).
     fn correctable(&self) -> usize;

@@ -230,6 +230,11 @@ impl Code for SecdedSbd {
         check
     }
 
+    fn check_clean(&self, data: &Bits, check: &Bits) -> bool {
+        validate_widths(self, data, check);
+        self.syndrome(data, check) == 0
+    }
+
     fn decode(&self, data: &Bits, check: &Bits) -> Decoded {
         validate_widths(self, data, check);
         let syn = self.syndrome(data, check);

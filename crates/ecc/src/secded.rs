@@ -45,6 +45,11 @@ pub struct Secded {
     hamming_pos: Vec<u32>,
     /// Inverse map: Hamming position -> data bit index (or check index).
     pos_to_bit: Vec<PosKind>,
+    /// Precomputed syndrome masks, flattened `[limb * m + c]`: the bits of
+    /// data limb `limb` that feed syndrome bit `c` (i.e. whose Hamming
+    /// position has bit `c` set). Encoding and syndrome extraction reduce
+    /// to one AND + popcount per (limb, syndrome-bit) pair.
+    limb_masks: Vec<u64>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,11 +94,21 @@ impl Secded {
         }
         // Any parity positions beyond the last data bit are impossible by
         // construction of m (all m parity positions are <= max_pos).
+        let limbs = data_bits.div_ceil(64);
+        let mut limb_masks = vec![0u64; limbs * m];
+        for (i, &pos) in hamming_pos.iter().enumerate() {
+            for c in 0..m {
+                if pos & (1 << c) != 0 {
+                    limb_masks[(i / 64) * m + c] |= 1u64 << (i % 64);
+                }
+            }
+        }
         Secded {
             data_bits,
             m,
             hamming_pos,
             pos_to_bit,
+            limb_masks,
         }
     }
 
@@ -103,20 +118,57 @@ impl Secded {
         self.m
     }
 
+    /// Hamming syndrome of the data word alone, via the precomputed limb
+    /// masks (one AND + popcount per mask instead of a per-set-bit loop).
+    #[inline]
+    fn data_syndrome(&self, data: &Bits) -> u32 {
+        let mut syndrome = 0u32;
+        for (l, &limb) in data.as_limbs().iter().enumerate() {
+            let base = l * self.m;
+            for (c, &mask) in self.limb_masks[base..base + self.m].iter().enumerate() {
+                syndrome ^= ((limb & mask).count_ones() & 1) << c;
+            }
+        }
+        syndrome
+    }
+
     /// Computes the `m`-bit Hamming syndrome plus overall parity of a
     /// stored pair. A zero return means clean.
+    #[inline]
     fn raw_syndrome(&self, data: &Bits, check: &Bits) -> (u32, bool) {
+        // The stored check's contribution to syndrome bit `c` is its bit
+        // `c`, so the whole check word folds in as one masked XOR.
+        let check_mask = (1u64 << self.m) - 1;
+        let syndrome = self.data_syndrome(data) ^ (check.to_u64() & check_mask) as u32;
+        let overall = data.parity() ^ check.parity();
+        (syndrome, overall)
+    }
+
+    /// Reference bit-serial encoder: XOR of `hamming_pos` over the set
+    /// data bits, one at a time. Retained (and exercised by the
+    /// equivalence property tests) as the executable specification the
+    /// table-driven path must match bit-for-bit.
+    pub fn encode_reference(&self, data: &Bits) -> Bits {
+        assert_eq!(data.len(), self.data_bits, "data width mismatch");
         let mut syndrome = 0u32;
         for i in data.iter_ones() {
             syndrome ^= self.hamming_pos[i];
         }
+        self.check_from_syndrome(data, syndrome)
+    }
+
+    /// Assembles the stored check word from a recomputed data syndrome.
+    fn check_from_syndrome(&self, data: &Bits, syndrome: u32) -> Bits {
+        let mut check = Bits::zeros(self.m + 1);
         for c in 0..self.m {
-            if check.get(c) {
-                syndrome ^= 1 << c;
+            if syndrome & (1 << c) != 0 {
+                check.set(c, true);
             }
         }
+        // Overall parity makes the whole codeword even-parity.
         let overall = data.parity() ^ check.parity();
-        (syndrome, overall)
+        check.set(self.m, overall);
+        check
     }
 
     /// Weight (number of covered codeword positions) of each syndrome bit's
@@ -151,20 +203,14 @@ impl Code for Secded {
 
     fn encode(&self, data: &Bits) -> Bits {
         assert_eq!(data.len(), self.data_bits, "data width mismatch");
-        let mut syndrome = 0u32;
-        for i in data.iter_ones() {
-            syndrome ^= self.hamming_pos[i];
-        }
-        let mut check = Bits::zeros(self.m + 1);
-        for c in 0..self.m {
-            if syndrome & (1 << c) != 0 {
-                check.set(c, true);
-            }
-        }
-        // Overall parity makes the whole codeword even-parity.
-        let overall = data.parity() ^ check.parity();
-        check.set(self.m, overall);
-        check
+        let syndrome = self.data_syndrome(data);
+        self.check_from_syndrome(data, syndrome)
+    }
+
+    fn check_clean(&self, data: &Bits, check: &Bits) -> bool {
+        validate_widths(self, data, check);
+        let (syndrome, overall) = self.raw_syndrome(data, check);
+        syndrome == 0 && !overall
     }
 
     fn decode(&self, data: &Bits, check: &Bits) -> Decoded {

@@ -1,0 +1,254 @@
+//! Equivalence property tests for the table-driven ECC fast paths.
+//!
+//! Every codec precomputes its parity/syndrome tables at construction and
+//! keeps the original bit-serial implementation as an executable
+//! reference (`encode_reference`, `syndromes_reference`). These tests
+//! pin the two implementations together bit-for-bit across random data
+//! words, random check-word corruption, and injected error patterns up
+//! to `t + 1` flips, and assert the `Decoded` outcomes the shared decode
+//! pipeline must produce for each error weight.
+
+use ecc::{Bch, Bits, Code, Decoded, Edc, Secded};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn bits_strategy(len: usize) -> impl Strategy<Value = Bits> {
+    vec(any::<u64>(), len.div_ceil(64)).prop_map(move |limbs| Bits::from_limbs(&limbs, len))
+}
+
+/// Distinct codeword positions (data + check space) of size `count`.
+fn distinct_positions(total: usize, count: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::sample::subsequence((0..total).collect::<Vec<_>>(), count)
+}
+
+fn apply_errors(code: &dyn Code, data: &Bits, check: &Bits, positions: &[usize]) -> (Bits, Bits) {
+    let mut d = data.clone();
+    let mut c = check.clone();
+    for &p in positions {
+        if p < code.data_bits() {
+            d.flip(p);
+        } else {
+            c.flip(p - code.data_bits());
+        }
+    }
+    (d, c)
+}
+
+/// The outcome the decode pipeline must produce for `positions` injected
+/// into a fresh codeword of a `t`-correcting code: clean for no errors,
+/// exact correction up to `t`, detection at `t + 1`.
+fn assert_decode_outcome(code: &dyn Code, data: &Bits, check: &Bits, positions: &[usize]) {
+    let (d, c) = apply_errors(code, data, check, positions);
+    let outcome = code.decode(&d, &c);
+    assert_eq!(
+        code.check_clean(&d, &c),
+        outcome.is_clean(),
+        "check_clean disagrees with decode"
+    );
+    let t = code.correctable();
+    if positions.is_empty() {
+        assert_eq!(outcome, Decoded::Clean);
+    } else if positions.len() <= t {
+        match outcome {
+            Decoded::Corrected {
+                data: fixed,
+                flipped,
+            } => {
+                assert_eq!(&fixed, data);
+                assert_eq!(flipped, positions.to_vec());
+            }
+            other => panic!("expected correction, got {other:?}"),
+        }
+    } else if positions.len() == t + 1 {
+        assert_eq!(outcome, Decoded::Detected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- EDC: interleaved parity -------------------------------------
+
+    #[test]
+    fn edc_encode_matches_reference(
+        data64 in bits_strategy(64),
+        data256 in bits_strategy(256),
+        data48 in bits_strategy(48),
+    ) {
+        for (edc, data) in [
+            (Edc::new(64, 8), &data64),
+            (Edc::new(64, 16), &data64),
+            (Edc::new(256, 16), &data256),
+            (Edc::new(48, 8), &data48),
+        ] {
+            prop_assert_eq!(edc.encode(data), edc.encode_reference(data), "{}", edc.name());
+        }
+    }
+
+    #[test]
+    fn edc_clean_check_matches_reference(
+        data in bits_strategy(64),
+        check in bits_strategy(8),
+    ) {
+        // Against arbitrary (possibly corrupt) stored check words the
+        // limb-mask syndrome must agree with the bit-serial re-encode.
+        let edc = Edc::new(64, 8);
+        let reference_clean = edc.encode_reference(&data) == check;
+        prop_assert_eq!(edc.check_clean(&data, &check), reference_clean);
+        let expected = if reference_clean { Decoded::Clean } else { Decoded::Detected };
+        prop_assert_eq!(edc.decode(&data, &check), expected);
+    }
+
+    #[test]
+    fn edc_decode_outcomes(
+        data in bits_strategy(64),
+        flips in 0usize..=1,
+        seed in distinct_positions(72, 1),
+    ) {
+        let edc = Edc::new(64, 8);
+        let check = edc.encode(&data);
+        let positions = &seed[..flips.min(seed.len())];
+        assert_decode_outcome(&edc, &data, &check, positions);
+    }
+
+    // ---- SECDED ------------------------------------------------------
+
+    #[test]
+    fn secded_encode_matches_reference(
+        data64 in bits_strategy(64),
+        data256 in bits_strategy(256),
+        data48 in bits_strategy(48),
+    ) {
+        for (code, data) in [
+            (Secded::new(64), &data64),
+            (Secded::new(256), &data256),
+            (Secded::new(48), &data48),
+        ] {
+            prop_assert_eq!(code.encode(data), code.encode_reference(data), "{}", code.name());
+        }
+    }
+
+    #[test]
+    fn secded_clean_check_matches_reference(
+        data in bits_strategy(64),
+        check in bits_strategy(8),
+    ) {
+        let code = Secded::new(64);
+        let reference_clean = code.encode_reference(&data) == check;
+        prop_assert_eq!(code.check_clean(&data, &check), reference_clean);
+        prop_assert_eq!(code.decode(&data, &check).is_clean(), reference_clean);
+    }
+
+    #[test]
+    fn secded_decode_outcomes(
+        data in bits_strategy(64),
+        flips in 0usize..=2,
+        seed in distinct_positions(72, 2),
+    ) {
+        let code = Secded::new(64);
+        let check = code.encode(&data);
+        let positions = &seed[..flips.min(seed.len())];
+        assert_decode_outcome(&code, &data, &check, positions);
+    }
+
+    // ---- BCH family (DECTED / QECPED / OECNED) -----------------------
+
+    #[test]
+    fn bch_encode_matches_reference_64(data in bits_strategy(64)) {
+        for t in [2usize, 4, 8] {
+            let code = Bch::new(64, t);
+            prop_assert_eq!(code.encode(&data), code.encode_reference(&data), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn bch_encode_matches_reference_256(data in bits_strategy(256)) {
+        for t in [2usize, 4, 8] {
+            let code = Bch::new(256, t);
+            prop_assert_eq!(code.encode(&data), code.encode_reference(&data), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn bch_syndromes_match_reference(
+        data in bits_strategy(64),
+        check in bits_strategy(15),
+    ) {
+        // Arbitrary corrupt stored pairs: the flattened alpha-power table
+        // must reproduce the per-bit exponent arithmetic exactly.
+        let code = Bch::new(64, 2);
+        prop_assert_eq!(
+            code.syndromes(&data, &check),
+            code.syndromes_reference(&data, &check)
+        );
+    }
+
+    #[test]
+    fn bch_syndromes_match_reference_oecned(
+        data in bits_strategy(64),
+        check in bits_strategy(57),
+    ) {
+        let code = Bch::new(64, 8);
+        prop_assert_eq!(
+            code.syndromes(&data, &check),
+            code.syndromes_reference(&data, &check)
+        );
+    }
+
+    #[test]
+    fn dected_decode_outcomes(
+        data in bits_strategy(64),
+        flips in 0usize..=3,
+        seed in distinct_positions(79, 3),
+    ) {
+        let code = Bch::new(64, 2);
+        let check = code.encode(&data);
+        let positions = &seed[..flips.min(seed.len())];
+        assert_decode_outcome(&code, &data, &check, positions);
+    }
+
+    #[test]
+    fn qecped_decode_outcomes(
+        data in bits_strategy(64),
+        flips in 0usize..=5,
+        seed in distinct_positions(93, 5),
+    ) {
+        let code = Bch::new(64, 4);
+        let check = code.encode(&data);
+        let positions = &seed[..flips.min(seed.len())];
+        assert_decode_outcome(&code, &data, &check, positions);
+    }
+
+    #[test]
+    fn oecned_decode_outcomes(
+        data in bits_strategy(64),
+        flips in 0usize..=9,
+        seed in distinct_positions(121, 9),
+    ) {
+        let code = Bch::new(64, 8);
+        let check = code.encode(&data);
+        let positions = &seed[..flips.min(seed.len())];
+        assert_decode_outcome(&code, &data, &check, positions);
+    }
+
+    // ---- Parity matrix consistency -----------------------------------
+
+    #[test]
+    fn parity_matrix_reproduces_encode(data in bits_strategy(64)) {
+        // The Code::parity_matrix contract (encode is linear) is what the
+        // memarray engine's row-level clean masks are built on.
+        for code in [
+            Box::new(Edc::new(64, 8)) as Box<dyn Code>,
+            Box::new(Secded::new(64)),
+            Box::new(Bch::new(64, 2)),
+            Box::new(Bch::new(64, 8)),
+        ] {
+            let matrix = code.parity_matrix();
+            let mut acc = Bits::zeros(code.check_bits());
+            for i in data.iter_ones() {
+                acc.xor_assign(&matrix[i]);
+            }
+            prop_assert_eq!(acc, code.encode(&data), "{}", code.name());
+        }
+    }
+}

@@ -106,6 +106,20 @@ impl BitGrid {
         Bits::from_limbs(&self.data[start..start + self.limbs_per_row], self.cols)
     }
 
+    /// Copies row `row` into an existing [`Bits`] without allocating
+    /// (scratch-buffer variant of [`BitGrid::row`] for hot loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or `out.len() != cols`.
+    #[inline]
+    pub fn row_into(&self, row: usize, out: &mut Bits) {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        assert_eq!(out.len(), self.cols, "row width mismatch");
+        let start = row * self.limbs_per_row;
+        out.copy_from_limbs(&self.data[start..start + self.limbs_per_row]);
+    }
+
     /// Overwrites row `row`.
     ///
     /// # Panics

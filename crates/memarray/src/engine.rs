@@ -128,6 +128,17 @@ pub struct TwoDArray {
     bisr_remap: bool,
     /// Maximum product-decoding iterations before declaring failure.
     max_iterations: usize,
+    /// Row-level clean masks, flattened `[word * check_bits + c]`: the
+    /// horizontal code is linear, so word `word` stores a self-consistent
+    /// codeword iff `parity(row & mask) == 0` for each of its check
+    /// equations. Precomputed from [`Code::parity_matrix`] at
+    /// construction; lets reads, writes, and recovery scans check
+    /// cleanliness with limb AND+popcount instead of per-bit extraction
+    /// and a full decode.
+    clean_masks: Vec<Bits>,
+    /// All physical columns (data + check) belonging to each word, used
+    /// for limb-level column-intersection during column-mode recovery.
+    word_col_masks: Vec<Bits>,
 }
 
 /// Construction parameters for [`TwoDArray`].
@@ -162,6 +173,33 @@ impl TwoDArray {
         let grid = BitGrid::new(config.rows, layout.row_cols());
         let vparity = VerticalParity::new(config.vertical_rows, layout.row_cols());
         let inline_correct = hcode.correctable() >= 1;
+        // Row-level clean masks: check equation c of word w covers the
+        // physical columns of the data bits feeding check bit c plus the
+        // stored check bit itself.
+        let parity_matrix = hcode.parity_matrix();
+        let check_bits = hcode.check_bits();
+        let mut clean_masks = Vec::with_capacity(layout.interleave() * check_bits);
+        let mut word_col_masks = Vec::with_capacity(layout.interleave());
+        for w in 0..layout.interleave() {
+            for c in 0..check_bits {
+                let mut mask = Bits::zeros(layout.row_cols());
+                for (i, check_row) in parity_matrix.iter().enumerate() {
+                    if check_row.get(c) {
+                        mask.set(layout.data_col(w, i), true);
+                    }
+                }
+                mask.set(layout.check_col(w, c), true);
+                clean_masks.push(mask);
+            }
+            let mut cols = Bits::zeros(layout.row_cols());
+            for i in 0..layout.data_bits() {
+                cols.set(layout.data_col(w, i), true);
+            }
+            for c in 0..check_bits {
+                cols.set(layout.check_col(w, c), true);
+            }
+            word_col_masks.push(cols);
+        }
         TwoDArray {
             grid,
             layout,
@@ -172,6 +210,8 @@ impl TwoDArray {
             inline_correct,
             bisr_remap: true,
             max_iterations: 4,
+            clean_masks,
+            word_col_masks,
         }
     }
 
@@ -235,6 +275,26 @@ impl TwoDArray {
         bits
     }
 
+    /// Reads a physical row through the stuck-at overlay into an existing
+    /// buffer (no allocation).
+    fn read_row_raw_into(&self, row: usize, out: &mut Bits) {
+        self.grid.row_into(row, out);
+        self.faults.overlay_row(row, out);
+    }
+
+    /// Whether word `word` of a physical row stores a self-consistent
+    /// codeword (its stored check equals the re-encode of its data),
+    /// checked at limb granularity against the precomputed clean masks.
+    /// Equivalent to `decode(..) == Decoded::Clean` for the linear codes
+    /// this crate uses.
+    #[inline]
+    fn word_clean(&self, row: &Bits, word: usize) -> bool {
+        let cb = self.hcode.check_bits();
+        self.clean_masks[word * cb..(word + 1) * cb]
+            .iter()
+            .all(|mask| !row.masked_parity(mask))
+    }
+
     /// Writes a physical row; stuck cells silently retain their value
     /// (matching real stuck-at behaviour).
     fn write_row_raw(&mut self, row: usize, value: &Bits) {
@@ -260,20 +320,26 @@ impl TwoDArray {
         // before the incremental update.
         self.stats.extra_reads += 1;
         let mut old_row = self.read_row_raw(row);
-        let old_data = self.layout.extract_data(&old_row, word);
-        let old_check = self.layout.extract_check(&old_row, word);
-        match self.hcode.decode(&old_data, &old_check) {
-            Decoded::Clean => {}
-            Decoded::Corrected { data: fixed, .. } if self.inline_correct => {
-                // Use the corrected old word for the parity delta.
-                let fixed_check = self.hcode.encode(&fixed);
-                self.layout
-                    .place_word(&mut old_row, word, &fixed, &fixed_check);
-            }
-            _ => {
-                // Latent multi-bit damage: repair first, then re-read.
-                let _ = self.recover();
-                old_row = self.read_row_raw(row);
+        // Clean-row fast path: when the old word's stored check already
+        // matches its data (the overwhelmingly common case), skip the
+        // decode and keep the stored check bits for the vertical delta —
+        // no extraction and no re-encode of the old word.
+        if !self.word_clean(&old_row, word) {
+            let old_data = self.layout.extract_data(&old_row, word);
+            let old_check = self.layout.extract_check(&old_row, word);
+            match self.hcode.decode(&old_data, &old_check) {
+                Decoded::Corrected { data: fixed, .. } if self.inline_correct => {
+                    // Use the corrected old word for the parity delta.
+                    let fixed_check = self.hcode.encode(&fixed);
+                    self.layout
+                        .place_word(&mut old_row, word, &fixed, &fixed_check);
+                }
+                Decoded::Clean => {}
+                _ => {
+                    // Latent multi-bit damage: repair first, then re-read.
+                    let _ = self.recover();
+                    old_row = self.read_row_raw(row);
+                }
             }
         }
         let mut new_row = old_row.clone();
@@ -301,6 +367,14 @@ impl TwoDArray {
         assert!(word < self.words_per_row(), "word {word} out of range");
         self.stats.reads += 1;
         let row_bits = self.read_row_raw(row);
+        // Clean fast path: verify the word's check equations at limb
+        // granularity, then extract only the data bits — no check
+        // extraction, no decode machinery.
+        if self.word_clean(&row_bits, word) {
+            return Ok(ReadOutcome::Clean(
+                self.layout.extract_data(&row_bits, word),
+            ));
+        }
         let data = self.layout.extract_data(&row_bits, word);
         let check = self.layout.extract_check(&row_bits, word);
         match self.hcode.decode(&data, &check) {
@@ -362,18 +436,29 @@ impl TwoDArray {
     /// functionally readable (the paper's yield-mode argument).
     fn failing_rows(&self) -> Vec<usize> {
         let mut failing = Vec::new();
+        let mut row = Bits::zeros(self.cols());
         for r in 0..self.rows() {
-            let row = self.read_row_raw(r);
-            for w in 0..self.words_per_row() {
-                let data = self.layout.extract_data(&row, w);
-                let check = self.layout.extract_check(&row, w);
-                if self.hcode.decode(&data, &check).is_detected_uncorrectable() {
-                    failing.push(r);
-                    break;
-                }
+            self.read_row_raw_into(r, &mut row);
+            if self.row_has_uncorrectable(&row) {
+                failing.push(r);
             }
         }
         failing
+    }
+
+    /// Whether any word of a physical row is in uncorrectable (detected)
+    /// state. Words the horizontal code can still fix inline do not
+    /// count — they are functionally readable.
+    fn row_has_uncorrectable(&self, row: &Bits) -> bool {
+        (0..self.words_per_row()).any(|w| {
+            // Clean words can't be uncorrectable: skip the decode.
+            if self.word_clean(row, w) {
+                return false;
+            }
+            let data = self.layout.extract_data(row, w);
+            let check = self.layout.extract_check(row, w);
+            self.hcode.decode(&data, &check).is_detected_uncorrectable()
+        })
     }
 
     fn failing_stripes(&self) -> Vec<usize> {
@@ -405,15 +490,21 @@ impl TwoDArray {
         self.stats.recoveries += 1;
         let mut report = RecoveryReport::default();
         let v = self.vparity.interleave();
+        // Snapshot the bank once and maintain the state incrementally:
+        // per-row contents, per-row clean flags (decode outcomes), and
+        // per-stripe vertical syndromes. Earlier revisions re-read and
+        // re-decoded every row — and re-derived every stripe syndrome —
+        // on each pass of each iteration; repairs now patch the caches
+        // instead (engine.rs used to spend most of recovery there).
+        let mut cache = RecoveryCache::snapshot(self);
         for _iter in 0..self.max_iterations {
-            // BIST march: scan every row once per iteration.
+            // BIST march: scan every row once per iteration (the cycle
+            // cost model is unchanged — hardware still marches the rows).
             report.cycles += self.rows() as u64;
             self.stats.recovery_rows_scanned += self.rows() as u64;
             let mut flagged: Vec<Vec<usize>> = vec![Vec::new(); v];
-            for (r, stripe_rows) in self.rows_by_stripe() {
-                let _ = stripe_rows;
-                let row = self.read_row_raw(r);
-                if !self.row_clean(&row) {
+            for r in 0..self.rows() {
+                if !cache.clean[r] {
                     flagged[r % v].push(r);
                 }
             }
@@ -424,7 +515,7 @@ impl TwoDArray {
             if self.inline_correct {
                 for stripe_list in &flagged {
                     for &r in stripe_list {
-                        progressed |= self.try_inline_row_fix(r, &mut report);
+                        progressed |= self.try_inline_row_fix(r, &mut cache, &mut report);
                     }
                 }
                 if progressed {
@@ -437,16 +528,15 @@ impl TwoDArray {
             for stripe in 0..v {
                 if flagged[stripe].len() == 1 {
                     let r = flagged[stripe][0];
-                    let syn = self.stripe_syndrome(stripe);
-                    if syn.is_zero() {
+                    if cache.stripe_syn[stripe].is_zero() {
                         continue;
                     }
-                    let before = self.read_row_raw(r);
-                    let repaired = before.xor(&syn);
+                    let repaired = cache.rows[r].xor(&cache.stripe_syn[stripe]);
                     if self.row_clean(&repaired) {
-                        self.apply_row_repair(r, &mut report, &repaired);
+                        let flips = cache.stripe_syn[stripe].count_ones();
+                        self.commit_row_repair(r, &repaired, &mut cache, &mut report);
                         report.rows_repaired.push(r);
-                        report.bits_flipped += syn.count_ones();
+                        report.bits_flipped += flips;
                         progressed = true;
                     }
                 }
@@ -458,12 +548,13 @@ impl TwoDArray {
             // Pass 3 — column mode: stripes with multiple flagged rows
             // indicate a failure along columns. Intersect each flagged
             // row's horizontal syndrome groups with the globally
-            // vertical-flagged columns.
-            let suspect_cols = self.suspect_columns();
-            if any_flagged && !suspect_cols.is_empty() {
+            // vertical-flagged columns, at limb granularity.
+            let suspect = cache.suspect_columns();
+            if any_flagged && !suspect.is_zero() {
                 for stripe_list in flagged.iter() {
                     for &r in stripe_list {
-                        progressed |= self.try_column_mode_fix(r, &suspect_cols, &mut report);
+                        progressed |=
+                            self.try_column_mode_fix(r, &suspect, &mut cache, &mut report);
                     }
                 }
                 if progressed {
@@ -473,16 +564,18 @@ impl TwoDArray {
 
             // Pass 4 — parity rows damaged: stripes whose syndrome is
             // nonzero but every data row checks clean get their parity
-            // rebuilt from the (clean) data.
+            // rebuilt from the (clean) data. The fresh parity is the
+            // stored one XOR the syndrome — no rescan needed.
             for stripe in 0..v {
-                if flagged[stripe].is_empty() {
-                    let syn = self.stripe_syndrome(stripe);
-                    if !syn.is_zero() {
-                        let fresh = self.recompute_parity(stripe);
-                        self.vparity.set_parity_row(stripe, fresh);
-                        report.parity_rows_rebuilt.push(stripe);
-                        progressed = true;
-                    }
+                if flagged[stripe].is_empty() && !cache.stripe_syn[stripe].is_zero() {
+                    let fresh = self
+                        .vparity
+                        .parity_row(stripe)
+                        .xor(&cache.stripe_syn[stripe]);
+                    self.vparity.set_parity_row(stripe, fresh);
+                    cache.stripe_syn[stripe].clear();
+                    report.parity_rows_rebuilt.push(stripe);
+                    progressed = true;
                 }
             }
 
@@ -490,7 +583,13 @@ impl TwoDArray {
                 break;
             }
         }
-        let failing = self.failing_rows();
+        // Only rows whose clean flag is still down can be uncorrectable.
+        let mut failing = Vec::new();
+        for r in 0..self.rows() {
+            if !cache.clean[r] && self.row_has_uncorrectable(&cache.rows[r]) {
+                failing.push(r);
+            }
+        }
         self.stats.bits_recovered += report.bits_flipped as u64;
         if failing.is_empty() {
             Ok(report)
@@ -536,28 +635,47 @@ impl TwoDArray {
         Ok(was_clean)
     }
 
-    fn rows_by_stripe(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        let v = self.vparity.interleave();
-        (0..self.rows()).map(move |r| (r, r % v))
-    }
-
+    /// Whether every word of a physical row stores a self-consistent
+    /// codeword, checked against the precomputed clean masks.
     fn row_clean(&self, row: &Bits) -> bool {
-        for w in 0..self.words_per_row() {
-            let data = self.layout.extract_data(row, w);
-            let check = self.layout.extract_check(row, w);
-            if !self.hcode.decode(&data, &check).is_clean() {
-                return false;
-            }
-        }
-        true
+        (0..self.words_per_row()).all(|w| self.word_clean(row, w))
     }
 
-    /// Attempts SECDED-style inline repair of every word of row `r`.
-    fn try_inline_row_fix(&mut self, r: usize, report: &mut RecoveryReport) -> bool {
-        let before = self.read_row_raw(r);
+    /// Applies a repair and patches the recovery caches: row contents,
+    /// clean flag, and the stripe syndrome. The stored parity reflects
+    /// intended data and repairs restore intended data, so the syndrome
+    /// changes by exactly `old ^ new-observable`.
+    fn commit_row_repair(
+        &mut self,
+        r: usize,
+        repaired: &Bits,
+        cache: &mut RecoveryCache,
+        report: &mut RecoveryReport,
+    ) {
+        self.apply_row_repair(r, report, repaired);
+        let stripe = r % self.vparity.interleave();
+        let mut observable = Bits::zeros(self.cols());
+        self.read_row_raw_into(r, &mut observable);
+        cache.stripe_syn[stripe].xor_assign(&cache.rows[r]);
+        cache.stripe_syn[stripe].xor_assign(&observable);
+        cache.clean[r] = self.row_clean(&observable);
+        cache.rows[r] = observable;
+    }
+
+    /// Attempts SECDED-style inline repair of every dirty word of row `r`.
+    fn try_inline_row_fix(
+        &mut self,
+        r: usize,
+        cache: &mut RecoveryCache,
+        report: &mut RecoveryReport,
+    ) -> bool {
+        let before = cache.rows[r].clone();
         let mut repaired = before.clone();
         let mut fixed_any = false;
         for w in 0..self.words_per_row() {
+            if self.word_clean(&repaired, w) {
+                continue;
+            }
             let data = self.layout.extract_data(&repaired, w);
             let check = self.layout.extract_check(&repaired, w);
             if let Decoded::Corrected { data: fixed, .. } = self.hcode.decode(&data, &check) {
@@ -568,7 +686,7 @@ impl TwoDArray {
         }
         if fixed_any && self.row_clean(&repaired) {
             let flips = before.xor(&repaired).count_ones();
-            self.apply_row_repair(r, report, &repaired);
+            self.commit_row_repair(r, &repaired, cache, report);
             report.bits_flipped += flips;
             report.rows_repaired.push(r);
             true
@@ -577,69 +695,44 @@ impl TwoDArray {
         }
     }
 
-    /// Columns flagged by any stripe's vertical syndrome.
-    fn suspect_columns(&self) -> Vec<usize> {
-        let mut union = Bits::zeros(self.cols());
-        for s in 0..self.vparity.interleave() {
-            union.xor_assign(&Bits::zeros(self.cols())); // no-op keeps widths aligned
-            let syn = self.stripe_syndrome(s);
-            for c in syn.iter_ones() {
-                union.set(c, true);
-            }
-        }
-        union.iter_ones().collect()
-    }
-
     /// Column-mode repair of one row: for each word whose horizontal
     /// syndrome is nonzero, flip suspect columns that uniquely explain the
-    /// syndrome.
+    /// syndrome. All column intersections happen at limb granularity via
+    /// row-width masks.
     fn try_column_mode_fix(
         &mut self,
         r: usize,
-        suspect_cols: &[usize],
+        suspect: &Bits,
+        cache: &mut RecoveryCache,
         report: &mut RecoveryReport,
     ) -> bool {
-        let before = self.read_row_raw(r);
-        let mut repaired = before.clone();
-        let mut candidate_flips: Vec<usize> = Vec::new();
-        for &c in suspect_cols {
-            candidate_flips.push(c);
-        }
+        let before = cache.rows[r].clone();
         // Try flipping all suspect columns in this row; verify each word.
-        for &c in &candidate_flips {
-            repaired.flip(c);
-        }
+        let repaired = before.xor(suspect);
         if self.row_clean(&repaired) {
-            let flips: Vec<(usize, usize)> = candidate_flips.iter().map(|&c| (r, c)).collect();
-            report.bits_flipped += flips.len();
-            report.column_mode_bits.extend(flips);
-            self.apply_row_repair(r, report, &repaired);
+            report.bits_flipped += suspect.count_ones();
+            report
+                .column_mode_bits
+                .extend(suspect.iter_ones().map(|c| (r, c)));
+            self.commit_row_repair(r, &repaired, cache, report);
             return true;
         }
-        // Otherwise, try per-word subsets: flip only suspect columns in
-        // words whose check currently fails.
+        // Otherwise, try per-word subsets: flip only the suspect columns
+        // of words whose check currently fails.
         let mut repaired = before.clone();
-        let mut flipped_cols = Vec::new();
+        let mut flipped_cols: Vec<usize> = Vec::new();
         for w in 0..self.words_per_row() {
-            let data = self.layout.extract_data(&repaired, w);
-            let check = self.layout.extract_check(&repaired, w);
-            if self.hcode.decode(&data, &check).is_clean() {
+            if self.word_clean(&repaired, w) {
                 continue;
             }
-            let mut trial = repaired.clone();
-            let mut word_flips = Vec::new();
-            for &c in suspect_cols {
-                let (word, _bit) = self.layout.col_to_word_bit(c);
-                if word == w {
-                    trial.flip(c);
-                    word_flips.push(c);
-                }
+            let word_suspects = suspect.and(&self.word_col_masks[w]);
+            if word_suspects.is_zero() {
+                continue;
             }
-            let data = self.layout.extract_data(&trial, w);
-            let check = self.layout.extract_check(&trial, w);
-            if self.hcode.decode(&data, &check).is_clean() {
+            let trial = repaired.xor(&word_suspects);
+            if self.word_clean(&trial, w) {
                 repaired = trial;
-                flipped_cols.extend(word_flips);
+                flipped_cols.extend(word_suspects.iter_ones());
             }
         }
         if !flipped_cols.is_empty() && self.row_clean(&repaired) {
@@ -647,7 +740,7 @@ impl TwoDArray {
             report
                 .column_mode_bits
                 .extend(flipped_cols.iter().map(|&c| (r, c)));
-            self.apply_row_repair(r, report, &repaired);
+            self.commit_row_repair(r, &repaired, cache, report);
             true
         } else {
             false
@@ -673,13 +766,47 @@ impl TwoDArray {
             }
         }
     }
+}
 
-    fn recompute_parity(&self, stripe: usize) -> Bits {
-        let mut parity = Bits::zeros(self.cols());
-        for r in (stripe..self.rows()).step_by(self.vparity.interleave()) {
-            parity.xor_assign(&self.read_row_raw(r));
+/// Incremental state shared by the passes of one [`TwoDArray::recover`]
+/// call: row contents (through the stuck-at overlay), per-row decode
+/// outcomes, and per-stripe vertical syndromes. Built once per recovery
+/// and patched in place by [`TwoDArray::commit_row_repair`].
+struct RecoveryCache {
+    rows: Vec<Bits>,
+    clean: Vec<bool>,
+    stripe_syn: Vec<Bits>,
+}
+
+impl RecoveryCache {
+    fn snapshot(bank: &TwoDArray) -> Self {
+        let v = bank.vparity.interleave();
+        let mut rows = Vec::with_capacity(bank.rows());
+        let mut clean = Vec::with_capacity(bank.rows());
+        let mut stripe_syn: Vec<Bits> =
+            (0..v).map(|s| bank.vparity.parity_row(s).clone()).collect();
+        for r in 0..bank.rows() {
+            let mut row = Bits::zeros(bank.cols());
+            bank.read_row_raw_into(r, &mut row);
+            stripe_syn[r % v].xor_assign(&row);
+            clean.push(bank.row_clean(&row));
+            rows.push(row);
         }
-        parity
+        RecoveryCache {
+            rows,
+            clean,
+            stripe_syn,
+        }
+    }
+
+    /// Union of every stripe's flagged columns as a row-width mask
+    /// (limb-level OR instead of per-bit set insertion).
+    fn suspect_columns(&self) -> Bits {
+        let mut union = Bits::zeros(self.stripe_syn[0].len());
+        for syn in &self.stripe_syn {
+            union.or_assign(syn);
+        }
+        union
     }
 }
 

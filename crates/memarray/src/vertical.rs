@@ -80,8 +80,10 @@ impl VerticalParity {
         assert_eq!(old.len(), self.cols, "old row width mismatch");
         assert_eq!(new.len(), self.cols, "new row width mismatch");
         let stripe = self.stripe_of(row);
-        let delta = old.xor(new);
-        self.rows[stripe].xor_assign(&delta);
+        // Fold both rows in directly — no delta allocation on the write
+        // hot path.
+        self.rows[stripe].xor_assign(old);
+        self.rows[stripe].xor_assign(new);
     }
 
     /// Directly XORs a delta into a stripe (used when recovery rewrites a

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh perf run against the committed
+BENCH_*.json baselines and fail when any shared measurement regresses.
+
+Usage:
+    python3 scripts/bench_gate.py \
+        --baseline BENCH_codecs.json --fresh target/bench-gate/BENCH_codecs.json \
+        --baseline BENCH_engine.json --fresh target/bench-gate/BENCH_engine.json
+
+Each --baseline is paired positionally with the matching --fresh file.
+
+Tolerance
+---------
+A measurement regresses when
+
+    fresh_mean_ns > baseline_mean_ns * TOLERANCE_FACTOR
+
+with TOLERANCE_FACTOR = 5.0 by default (override with --tolerance).
+
+The factor is deliberately loose, for two reasons that make a tight gate
+dishonest rather than strict:
+
+* the committed baselines are measured in *full* mode on a developer
+  machine, while CI re-measures in *quick* mode (bounded iteration
+  budget) on a shared runner — absolute ns/op values differ by both
+  machine speed and measurement noise;
+* quick mode's statistical floor is ~10 iterations, so slow operations
+  carry real variance.
+
+What 5x reliably catches is the class of regression this repo actually
+guards against: reintroducing a bit-serial hot loop (the pre-table-driven
+encoders were 50-200x slower) or an accidental O(rows^2) recovery scan.
+Sub-5x perf changes are reviewed via the uploaded bench artifacts, and a
+perf PR that intentionally shifts the floor must refresh the committed
+baselines (see README: baseline-refresh policy).
+
+Ops present in only one file (new benchmarks, removed benchmarks) are
+reported but never fail the gate: adding a measurement must not require
+regenerating every baseline atomically.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_TOLERANCE = 5.0
+
+
+def load_results(path):
+    """Return {(name, op): mean_ns} for one BENCH_*.json file."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "twod-repro/bench-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {(r["name"], r["op"]): float(r["mean_ns"]) for r in doc["results"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", action="append", required=True,
+                    help="committed baseline JSON (repeatable)")
+    ap.add_argument("--fresh", action="append", required=True,
+                    help="freshly measured JSON, paired with --baseline")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help=f"regression factor (default {DEFAULT_TOLERANCE})")
+    args = ap.parse_args()
+    if len(args.baseline) != len(args.fresh):
+        sys.exit("--baseline and --fresh must be paired")
+
+    regressions = []
+    for base_path, fresh_path in zip(args.baseline, args.fresh):
+        base = load_results(base_path)
+        fresh = load_results(fresh_path)
+        for key in sorted(base.keys() | fresh.keys()):
+            name = f"{key[0]}.{key[1]}"
+            if key not in fresh:
+                print(f"  [skip] {name}: only in baseline ({base_path})")
+                continue
+            if key not in base:
+                print(f"  [new ] {name}: not in baseline yet ({fresh[key]:.1f} ns)")
+                continue
+            ratio = fresh[key] / base[key] if base[key] > 0 else float("inf")
+            status = "FAIL" if ratio > args.tolerance else "ok"
+            print(f"  [{status:>4}] {name}: baseline {base[key]:.1f} ns, "
+                  f"fresh {fresh[key]:.1f} ns ({ratio:.2f}x)")
+            if ratio > args.tolerance:
+                regressions.append((name, base[key], fresh[key], ratio))
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.tolerance}x:")
+        for name, b, f, r in regressions:
+            print(f"  {name}: {b:.1f} -> {f:.1f} ns/op ({r:.2f}x)")
+        sys.exit(1)
+    print("\nbench gate: no regressions beyond "
+          f"{args.tolerance}x across {len(args.baseline)} file(s)")
+
+
+if __name__ == "__main__":
+    main()
