@@ -1,6 +1,8 @@
-//! Perf-trajectory emitter: measures mean ns/op for every codec and for
-//! the 2D engine's array operations, and writes the results as
-//! `BENCH_codecs.json` and `BENCH_engine.json`.
+//! Perf-trajectory emitter: measures mean ns/op for every codec, for
+//! the 2D engine's array operations, and for the concurrent sharded
+//! cache service under multi-threaded traffic, and writes the results
+//! as `BENCH_codecs.json`, `BENCH_engine.json`, and
+//! `BENCH_service.json`.
 //!
 //! These artifacts seed the performance baseline that later optimization
 //! PRs are measured against; CI uploads them on every push and
@@ -20,12 +22,14 @@
 //! bit flips injected — for BCH codes this exercises Berlekamp–Massey
 //! and the Chien search).
 
+use cachesim::{generate_ops, run_traffic, AccessPattern, Op, TrafficConfig};
 use ecc::{Bch, Bits, Code, CodeKind, Edc, Secded};
 use memarray::{ErrorShape, TwoDArray, TwoDConfig};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+use twod_cache::{CacheConfig, ConcurrentBankedCache, ProtectedCache, LINE_BYTES};
 
 /// One measured operation.
 struct Sample {
@@ -209,6 +213,118 @@ fn engine_samples(runner: &mut Runner) -> Vec<Sample> {
     runner.take_samples()
 }
 
+/// Lock-free sequential sharded reference: the same address-interleaved
+/// math as the banked caches over plain `Vec<ProtectedCache>`. This is
+/// the honest "sequential path" baseline for the lock-per-bank service:
+/// `service.conc_ops_1t / service.seq_ops` is the pure synchronization
+/// overhead a single-threaded caller pays.
+struct SequentialSharded {
+    banks: Vec<ProtectedCache>,
+}
+
+impl SequentialSharded {
+    fn new(config: CacheConfig, banks: usize) -> Self {
+        SequentialSharded {
+            banks: (0..banks).map(|_| ProtectedCache::new(config)).collect(),
+        }
+    }
+
+    fn replay(&mut self, ops: &[Op]) {
+        let lb = LINE_BYTES as u64;
+        let n = self.banks.len() as u64;
+        for op in ops {
+            let addr = match *op {
+                Op::Read(a) | Op::Write(a, _) => a,
+            };
+            let line = addr / lb;
+            let bank = (line % n) as usize;
+            let local = (line / n) * lb + addr % lb;
+            match *op {
+                Op::Read(_) => {
+                    black_box(self.banks[bank].read(local).unwrap());
+                }
+                Op::Write(_, v) => self.banks[bank].write(local, v).unwrap(),
+            }
+        }
+    }
+}
+
+/// The service-layer benchmark: throughput of the concurrent sharded
+/// cache under seeded Zipf traffic at 1/2/4/8 worker threads, plus the
+/// lock-free sequential reference. All entries are mean wall-clock ns
+/// per operation (aggregate: `elapsed / total_ops`), so multi-thread
+/// scaling is `conc_ops_1t / conc_ops_Nt` and single-thread lock
+/// overhead is `conc_ops_1t / seq_ops`.
+fn service_samples(quick: bool, filter: &Option<String>) -> Vec<Sample> {
+    const BANKS: usize = 8;
+    let total_ops: u64 = if quick { 16_000 } else { 160_000 };
+    let traffic = |threads: usize| TrafficConfig {
+        threads,
+        ops_per_thread: total_ops / threads as u64,
+        write_fraction: 0.3,
+        lines: 4_096,
+        pattern: AccessPattern::Zipf(1.0),
+        seed: 0x5EED_5EED,
+        // Both paths do identical per-op work; correctness is covered by
+        // the stress suites, not the throughput bench.
+        verify: false,
+    };
+    let matches = |op: &str| {
+        filter
+            .as_ref()
+            .is_none_or(|f| format!("service.{op}").contains(f.as_str()))
+    };
+    let mut samples = Vec::new();
+
+    if matches("seq_ops") {
+        let mut seq = SequentialSharded::new(CacheConfig::l1_64kb(), BANKS);
+        let ops = generate_ops(&traffic(1), 0);
+        seq.replay(&ops); // warmup: fill tags/lines
+        let started = Instant::now();
+        seq.replay(&ops);
+        samples.push(Sample {
+            name: "service",
+            op: "seq_ops",
+            mean_ns: started.elapsed().as_nanos() as f64 / ops.len() as f64,
+            iters: ops.len() as u64,
+        });
+    }
+
+    for (threads, op) in [
+        (1usize, "conc_ops_1t"),
+        (2, "conc_ops_2t"),
+        (4, "conc_ops_4t"),
+        (8, "conc_ops_8t"),
+    ] {
+        if !matches(op) {
+            continue;
+        }
+        let cache = ConcurrentBankedCache::new(CacheConfig::l1_64kb(), BANKS);
+        let cfg = traffic(threads);
+        let _warm = run_traffic(&cache, &cfg);
+        let report = run_traffic(&cache, &cfg);
+        samples.push(Sample {
+            name: "service",
+            op,
+            mean_ns: report.mean_ns_per_op(),
+            iters: report.total_ops,
+        });
+    }
+
+    // Derived figures for humans; the gate consumes only the raw rows.
+    let find = |op: &str| samples.iter().find(|s| s.op == op).map(|s| s.mean_ns);
+    if let (Some(one), Some(four)) = (find("conc_ops_1t"), find("conc_ops_4t")) {
+        println!("  service scaling at 4 threads: {:.2}x", one / four);
+    }
+    if let (Some(seq), Some(one)) = (find("seq_ops"), find("conc_ops_1t")) {
+        println!(
+            "  single-thread lock overhead vs sequential path: {:+.1}%",
+            (one / seq - 1.0) * 100.0
+        );
+    }
+    samples
+}
+
 fn render_json(mode: &str, samples: &[Sample]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -299,6 +415,13 @@ fn main() {
         &out_dir.join("BENCH_engine.json"),
         mode,
         &engine,
+        print_only,
+    );
+    let service = service_samples(quick, &runner.filter);
+    emit(
+        &out_dir.join("BENCH_service.json"),
+        mode,
+        &service,
         print_only,
     );
 }

@@ -34,7 +34,7 @@ const EXPERIMENTS: &[(&str, &str, &[&str])] = &[
     ("ablation", "design-choice ablation sweeps", &[]),
     (
         "bench",
-        "mean ns/op per codec + engine op -> BENCH_*.json",
+        "mean ns/op per codec, engine op, and service thread-count -> BENCH_*.json",
         &[],
     ),
 ];

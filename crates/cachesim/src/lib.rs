@@ -43,6 +43,7 @@ mod mshr;
 mod port;
 pub mod replication;
 mod runner;
+pub mod service;
 mod sim;
 mod stats;
 pub mod trace;
@@ -53,6 +54,10 @@ pub use l2::{BankedL2, L2Access};
 pub use mshr::MshrPool;
 pub use port::{ExtraGrant, L1Ports, PortGrant};
 pub use runner::{figure5, figure5_average, figure6, Fig5Row, Fig6Row, DEFAULT_CYCLES};
+pub use service::{
+    generate_ops, replay_ops, run_traffic, run_traffic_with_storm, AccessPattern, FaultStorm, Op,
+    ServiceReport, TrafficConfig,
+};
 pub use sim::{run_sim, Simulation};
 pub use stats::{ipc_loss_percent, AccessMix, SimStats};
-pub use workload::WorkloadProfile;
+pub use workload::{HotSetSampler, WorkloadProfile, ZipfSampler};

@@ -8,6 +8,164 @@
 //! behaviour — with values calibrated so the simulated access mixes match
 //! the per-100-cycle breakdowns of the paper's Figure 6.
 
+use rand::Rng;
+
+/// A seeded Zipf(θ) rank sampler over `n` items.
+///
+/// Item `i` (0-based, rank 0 most popular) is drawn with probability
+/// `(i+1)^-θ / H_{n,θ}`. Cache traffic from large user populations is
+/// classically Zipf-distributed, which makes this the reference
+/// popularity model for the service-layer throughput driver: a small set
+/// of hot lines absorbs most accesses while the tail keeps every bank
+/// busy.
+///
+/// The CDF is precomputed at construction; sampling is one uniform draw
+/// plus a binary search (`O(log n)`), allocation-free, and `&self` — one
+/// sampler can be shared by many worker threads, each with its own RNG.
+///
+/// # Examples
+///
+/// ```
+/// use cachesim::ZipfSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = ZipfSampler::new(1000, 1.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    /// `cdf[i]` = P(rank <= i); `cdf[n-1]` = 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` items with exponent `theta`.
+    /// `theta = 0` degenerates to the uniform distribution; `theta = 1`
+    /// is the classic Zipf law.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "Zipf exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of drawing rank `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Expected rank `E[i]` of one draw (a distribution moment tests pin
+    /// against closed-form harmonic sums).
+    pub fn mean_rank(&self) -> f64 {
+        (0..self.n()).map(|i| i as f64 * self.probability(i)).sum()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u;
+        // cdf is normalized so the search cannot run off the end for
+        // u < 1.0, and u == 1.0 is excluded by gen()'s [0, 1) range.
+        self.cdf.partition_point(|&c| c < u).min(self.n() - 1)
+    }
+}
+
+/// A seeded hot-set sampler: a fraction of the item space is "hot" and
+/// absorbs a fixed fraction of the accesses; the remainder is drawn
+/// uniformly from the cold tail.
+///
+/// This is the two-level locality model (e.g. 90% of accesses to 10% of
+/// the lines) used by the service driver for cache-friendly traffic
+/// mixes with a controllable hit ratio.
+#[derive(Clone, Copy, Debug)]
+pub struct HotSetSampler {
+    universe: usize,
+    hot_items: usize,
+    hot_prob: f64,
+}
+
+impl HotSetSampler {
+    /// Builds a sampler over `universe` items where the first
+    /// `hot_items` items receive `hot_prob` of the draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot_items` is zero or not less than `universe`, or if
+    /// `hot_prob` is outside `[0, 1]`.
+    pub fn new(universe: usize, hot_items: usize, hot_prob: f64) -> Self {
+        assert!(
+            hot_items >= 1 && hot_items < universe,
+            "hot set must be a proper nonempty subset of the universe"
+        );
+        assert!(
+            (0.0..=1.0).contains(&hot_prob),
+            "hot probability must be in [0, 1]"
+        );
+        HotSetSampler {
+            universe,
+            hot_items,
+            hot_prob,
+        }
+    }
+
+    /// Number of items in the universe.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Whether item `i` belongs to the hot set.
+    pub fn is_hot(&self, i: usize) -> bool {
+        i < self.hot_items
+    }
+
+    /// Expected item index of one draw.
+    pub fn mean_item(&self) -> f64 {
+        let hot_mean = (self.hot_items - 1) as f64 / 2.0;
+        let cold_mean = (self.hot_items + self.universe - 1) as f64 / 2.0;
+        self.hot_prob * hot_mean + (1.0 - self.hot_prob) * cold_mean
+    }
+
+    /// Draws one item in `0..universe`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        if rng.gen_bool(self.hot_prob) {
+            rng.gen_range(0..self.hot_items)
+        } else {
+            rng.gen_range(self.hot_items..self.universe)
+        }
+    }
+}
+
 /// Per-instruction memory behaviour of one workload.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -168,6 +326,95 @@ impl WorkloadProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zipf_probabilities_match_harmonic_closed_form() {
+        // For θ=1 over n=100 items, p(rank 0) = 1/H_100 with
+        // H_100 = 5.187377517639621 (closed form, computed externally).
+        let zipf = ZipfSampler::new(100, 1.0);
+        let h100 = 5.187_377_517_639_621;
+        assert!((zipf.probability(0) - 1.0 / h100).abs() < 1e-12);
+        assert!((zipf.probability(9) - 0.1 / h100).abs() < 1e-12);
+        // Mean rank for θ=1 is (n - H_n)/H_n.
+        assert!((zipf.mean_rank() - (100.0 - h100) / h100).abs() < 1e-9);
+        // θ=0 degenerates to uniform.
+        let uniform = ZipfSampler::new(10, 0.0);
+        for i in 0..10 {
+            assert!((uniform.probability(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_moments_match_analytic() {
+        let zipf = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let draws = 200_000;
+        let mut counts = vec![0u64; 100];
+        let mut sum = 0.0f64;
+        for _ in 0..draws {
+            let r = zipf.sample(&mut rng);
+            counts[r] += 1;
+            sum += r as f64;
+        }
+        // First moment within 2% of the analytic mean rank (~18.28).
+        let empirical_mean = sum / draws as f64;
+        let analytic = zipf.mean_rank();
+        assert!(
+            (empirical_mean - analytic).abs() / analytic < 0.02,
+            "mean rank {empirical_mean} vs analytic {analytic}"
+        );
+        // Head mass: empirical P(rank 0) within ±0.005 of 1/H_100.
+        let p0 = counts[0] as f64 / draws as f64;
+        assert!(
+            (p0 - zipf.probability(0)).abs() < 0.005,
+            "p0 {p0} vs {}",
+            zipf.probability(0)
+        );
+        // Popularity is monotone over the first ranks.
+        assert!(counts[0] > counts[1] && counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn zipf_seeded_streams_are_deterministic() {
+        let zipf = ZipfSampler::new(64, 0.8);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn hot_set_hits_hot_fraction() {
+        // 10% of 1000 lines take 90% of accesses.
+        let hs = HotSetSampler::new(1000, 100, 0.9);
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws = 100_000;
+        let mut hot = 0u64;
+        let mut sum = 0.0f64;
+        for _ in 0..draws {
+            let i = hs.sample(&mut rng);
+            assert!(i < 1000);
+            if hs.is_hot(i) {
+                hot += 1;
+            }
+            sum += i as f64;
+        }
+        let hot_frac = hot as f64 / draws as f64;
+        assert!(
+            (hot_frac - 0.9).abs() < 0.01,
+            "hot fraction {hot_frac}, expected ~0.9"
+        );
+        // First moment: 0.9 * 49.5 + 0.1 * 549.5 = 99.5.
+        assert!((hs.mean_item() - 99.5).abs() < 1e-9);
+        let empirical_mean = sum / draws as f64;
+        assert!(
+            (empirical_mean - hs.mean_item()).abs() / hs.mean_item() < 0.03,
+            "mean item {empirical_mean} vs analytic {}",
+            hs.mean_item()
+        );
+    }
 
     #[test]
     fn profiles_are_probabilistically_sane() {

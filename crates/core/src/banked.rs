@@ -1,12 +1,21 @@
 //! A multi-bank 2D-protected cache: the paper's shared-L2 organization,
 //! where each bank carries its own vertical parity rows and recovers
 //! independently (errors in one bank never stall the others).
+//!
+//! Since the concurrency refactor this type is a thin sequential facade
+//! over [`ConcurrentBankedCache`]: the bank sharding, per-bank locking,
+//! and stats aggregation live there, and this wrapper keeps the original
+//! `&mut self` API for single-threaded callers (examples, figure bins,
+//! equivalence tests). Use [`BankedProtectedCache::shared`] or
+//! [`BankedProtectedCache::into_concurrent`] to hand the same cache to a
+//! multi-threaded frontend.
 
-use crate::{CacheConfig, CacheStats, ProtectedCache};
+use crate::{CacheConfig, CacheStats, ConcurrentBankedCache, ProtectedCache};
 use memarray::{EngineError, ErrorShape};
 use std::fmt;
 
-/// An address-interleaved array of [`ProtectedCache`] banks.
+/// An address-interleaved array of [`ProtectedCache`] banks with a
+/// sequential (`&mut self`) API.
 ///
 /// Lines are distributed across banks by line-address modulo, the same
 /// mapping the paper's banked L2 uses. Each bank is an independent
@@ -22,8 +31,7 @@ use std::fmt;
 /// assert_eq!(l2.read(0x1234_5678).unwrap(), 99);
 /// ```
 pub struct BankedProtectedCache {
-    banks: Vec<ProtectedCache>,
-    line_bytes: u64,
+    inner: ConcurrentBankedCache,
 }
 
 impl BankedProtectedCache {
@@ -33,34 +41,36 @@ impl BankedProtectedCache {
     ///
     /// Panics if `banks == 0` or the per-bank geometry is invalid.
     pub fn new(config: CacheConfig, banks: usize) -> Self {
-        assert!(banks > 0, "need at least one bank");
         BankedProtectedCache {
-            banks: (0..banks).map(|_| ProtectedCache::new(config)).collect(),
-            line_bytes: crate::LINE_BYTES as u64,
+            inner: ConcurrentBankedCache::new(config, banks),
         }
     }
 
     /// Number of banks.
     pub fn banks(&self) -> usize {
-        self.banks.len()
+        self.inner.banks()
     }
 
     /// Total capacity across banks.
     pub fn capacity(&self) -> usize {
-        self.banks.iter().map(|b| b.config().capacity()).sum()
+        self.inner.capacity()
     }
 
     /// Which bank serves `addr`.
     pub fn bank_of(&self, addr: u64) -> usize {
-        ((addr / self.line_bytes) % self.banks.len() as u64) as usize
+        self.inner.bank_of(addr)
     }
 
-    /// Bank-local address: the line index within the bank, preserving the
-    /// in-line offset.
-    fn local_addr(&self, addr: u64) -> u64 {
-        let line = addr / self.line_bytes;
-        let offset = addr % self.line_bytes;
-        (line / self.banks.len() as u64) * self.line_bytes + offset
+    /// The thread-safe service this facade wraps. Handing `&self.shared()`
+    /// to worker threads is how a sequentially-built cache goes
+    /// concurrent.
+    pub fn shared(&self) -> &ConcurrentBankedCache {
+        &self.inner
+    }
+
+    /// Unwraps into the thread-safe service.
+    pub fn into_concurrent(self) -> ConcurrentBankedCache {
+        self.inner
     }
 
     /// Reads the aligned 64-bit word at `addr`.
@@ -70,9 +80,7 @@ impl BankedProtectedCache {
     /// Returns [`EngineError`] if the owning bank's protection was
     /// defeated.
     pub fn read(&mut self, addr: u64) -> Result<u64, EngineError> {
-        let bank = self.bank_of(addr);
-        let local = self.local_addr(addr);
-        self.banks[bank].read(local)
+        self.inner.read(addr)
     }
 
     /// Writes the aligned 64-bit word at `addr`.
@@ -82,9 +90,7 @@ impl BankedProtectedCache {
     /// Returns [`EngineError`] if the owning bank's protection was
     /// defeated.
     pub fn write(&mut self, addr: u64, value: u64) -> Result<(), EngineError> {
-        let bank = self.bank_of(addr);
-        let local = self.local_addr(addr);
-        self.banks[bank].write(local, value)
+        self.inner.write(addr, value)
     }
 
     /// Injects an error into one bank's data array.
@@ -93,7 +99,7 @@ impl BankedProtectedCache {
     ///
     /// Panics if `bank` is out of range.
     pub fn inject_bank_error(&mut self, bank: usize, shape: ErrorShape) {
-        self.banks[bank].inject_data_error(shape);
+        self.inner.inject_bank_error(bank, shape);
     }
 
     /// Scrubs every bank.
@@ -103,40 +109,32 @@ impl BankedProtectedCache {
     /// Returns the first bank's [`EngineError`] if any bank holds
     /// uncorrectable damage.
     pub fn scrub(&mut self) -> Result<(), EngineError> {
-        for bank in &mut self.banks {
-            bank.scrub()?;
-        }
-        Ok(())
+        self.inner.scrub()
     }
 
     /// Whether every bank passes its audit.
     pub fn audit(&self) -> bool {
-        self.banks.iter().all(|b| b.audit())
+        self.inner.audit()
     }
 
     /// Aggregated access statistics across banks.
     pub fn stats(&self) -> CacheStats {
-        let mut total = CacheStats::default();
-        for b in &self.banks {
-            let s = b.stats();
-            total.read_hits += s.read_hits;
-            total.read_misses += s.read_misses;
-            total.write_hits += s.write_hits;
-            total.write_misses += s.write_misses;
-            total.writebacks += s.writebacks;
-            total.errors_corrected += s.errors_corrected;
-        }
-        total
+        self.inner.stats()
     }
 
-    /// Per-bank view (for inspection and targeted injection).
-    pub fn bank(&self, index: usize) -> &ProtectedCache {
-        &self.banks[index]
+    /// Per-bank view (for inspection and targeted injection). Takes
+    /// `&mut self` — the exclusive borrow reaches the bank without
+    /// touching its lock, so no guard escapes and two `bank()` calls in
+    /// one expression can never deadlock on the non-reentrant mutex
+    /// underneath. Concurrent callers use
+    /// [`ConcurrentBankedCache::lock_bank`] instead.
+    pub fn bank(&mut self, index: usize) -> &ProtectedCache {
+        self.inner.bank_mut(index)
     }
 
     /// Mutable per-bank view.
     pub fn bank_mut(&mut self, index: usize) -> &mut ProtectedCache {
-        &mut self.banks[index]
+        self.inner.bank_mut(index)
     }
 }
 
@@ -145,11 +143,8 @@ impl fmt::Debug for BankedProtectedCache {
         write!(
             f,
             "BankedProtectedCache({} banks x {}B)",
-            self.banks.len(),
-            self.banks
-                .first()
-                .map(|b| b.config().capacity())
-                .unwrap_or(0)
+            self.banks(),
+            self.inner.lock_bank(0).config().capacity()
         )
     }
 }
@@ -235,12 +230,16 @@ mod tests {
     #[test]
     fn local_addresses_do_not_collide() {
         // Two different global lines mapping to the same bank must get
-        // different local addresses.
-        let c = small_banked(4);
+        // different local addresses: distinct global addresses owned by
+        // one bank must stay distinct after read/write round-trips.
+        let mut c = small_banked(4);
         let a = 0u64; // line 0 -> bank 0 local line 0
         let b = 4 * 64; // line 4 -> bank 0 local line 1
         assert_eq!(c.bank_of(a), c.bank_of(b));
-        assert_ne!(c.local_addr(a), c.local_addr(b));
+        c.write(a, 11).unwrap();
+        c.write(b, 22).unwrap();
+        assert_eq!(c.read(a).unwrap(), 11);
+        assert_eq!(c.read(b).unwrap(), 22);
     }
 
     #[test]
@@ -251,5 +250,15 @@ mod tests {
         }
         c.scrub().unwrap();
         assert!(c.audit());
+    }
+
+    #[test]
+    fn facade_and_service_share_state() {
+        let mut c = small_banked(2);
+        c.write(0x40, 123).unwrap();
+        // The concurrent service view reads the same cells.
+        assert_eq!(c.shared().read(0x40).unwrap(), 123);
+        let service = c.into_concurrent();
+        assert_eq!(service.read(0x40).unwrap(), 123);
     }
 }

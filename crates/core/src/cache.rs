@@ -169,6 +169,17 @@ impl ProtectedCache {
         self.data.stats()
     }
 
+    /// Read-only view of the protected data array (scheme inspection,
+    /// codec-sharing assertions).
+    pub fn data_array(&self) -> &TwoDArray {
+        &self.data
+    }
+
+    /// Read-only view of the protected tag array.
+    pub fn tag_array(&self) -> &TwoDArray {
+        &self.tags
+    }
+
     /// Pre-loads the backing store at `line_addr`.
     pub fn fill_memory(&mut self, line_addr: u64, bytes: [u8; LINE_BYTES]) {
         self.memory

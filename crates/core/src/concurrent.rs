@@ -1,0 +1,328 @@
+//! A thread-safe sharded 2D-protected cache: the concurrency layer the
+//! paper's banked L2 organization implies but a `&mut self` API cannot
+//! express.
+//!
+//! [`ConcurrentBankedCache`] wraps each bank ([`ProtectedCache`]) in its
+//! own lock and interleaves line addresses across banks, so accesses to
+//! different banks proceed in parallel and a bank running its multi-bit
+//! recovery march never stalls its siblings — exactly the independence
+//! the per-bank vertical parity was designed around. The whole service
+//! is `Send + Sync` and every operation takes `&self`, which is what
+//! lets a multi-threaded frontend (see `cachesim::service`) drive it.
+//!
+//! Lock discipline: every operation locks exactly one bank — the one
+//! owning the address — for the duration of the access, including any
+//! transparent recovery. Aggregation paths ([`Self::stats`],
+//! [`Self::audit`], [`Self::scrub`]) visit banks one at a time; there is
+//! no global lock anywhere, so no lock ordering and no deadlock.
+
+use crate::{CacheConfig, CacheStats, ProtectedCache};
+use memarray::{EngineError, EngineStats, ErrorShape};
+use std::fmt;
+use std::sync::{Mutex, MutexGuard};
+
+/// An address-interleaved, lock-per-bank array of [`ProtectedCache`]
+/// banks with a `&self` (shared-reference) access API.
+///
+/// Lines are distributed across banks by line-address modulo, the same
+/// mapping the paper's banked L2 uses. All banks are built from one
+/// shared [`memarray::BankScheme`] per array kind, so the codec table
+/// memory exists once regardless of the bank count.
+///
+/// # Examples
+///
+/// ```
+/// use std::thread;
+/// use twod_cache::{CacheConfig, ConcurrentBankedCache};
+///
+/// let l2 = ConcurrentBankedCache::new(CacheConfig::l1_64kb(), 4);
+/// thread::scope(|s| {
+///     for t in 0u64..4 {
+///         let l2 = &l2;
+///         s.spawn(move || {
+///             let addr = 0x1000 + t * 8;
+///             l2.write(addr, t + 1).unwrap();
+///             assert_eq!(l2.read(addr).unwrap(), t + 1);
+///         });
+///     }
+/// });
+/// ```
+pub struct ConcurrentBankedCache {
+    banks: Vec<Mutex<ProtectedCache>>,
+    line_bytes: u64,
+}
+
+impl ConcurrentBankedCache {
+    /// Creates `banks` independent banks, each configured per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0` or the per-bank geometry is invalid.
+    pub fn new(config: CacheConfig, banks: usize) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        ConcurrentBankedCache {
+            banks: (0..banks)
+                .map(|_| Mutex::new(ProtectedCache::new(config)))
+                .collect(),
+            line_bytes: crate::LINE_BYTES as u64,
+        }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total capacity across banks.
+    pub fn capacity(&self) -> usize {
+        (0..self.banks.len())
+            .map(|i| self.lock_bank(i).config().capacity())
+            .sum()
+    }
+
+    /// Which bank serves `addr`.
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr / self.line_bytes) % self.banks.len() as u64) as usize
+    }
+
+    /// Bank-local address: the line index within the bank, preserving the
+    /// in-line offset.
+    fn local_addr(&self, addr: u64) -> u64 {
+        let line = addr / self.line_bytes;
+        let offset = addr % self.line_bytes;
+        (line / self.banks.len() as u64) * self.line_bytes + offset
+    }
+
+    /// Locks one bank and returns the guard. A bank whose lock was
+    /// poisoned (a panic inside another thread's access) is recovered
+    /// rather than propagated: the bank's own 2D consistency machinery —
+    /// audits, scrubbing, recovery — is the integrity story, not the
+    /// poison flag, and one crashed worker must not take a bank (and
+    /// every line it shards) permanently offline.
+    pub fn lock_bank(&self, index: usize) -> MutexGuard<'_, ProtectedCache> {
+        self.banks[index]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Mutable access to one bank without locking (requires `&mut self`,
+    /// which proves exclusive ownership).
+    pub fn bank_mut(&mut self, index: usize) -> &mut ProtectedCache {
+        match self.banks[index].get_mut() {
+            Ok(bank) => bank,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Reads the aligned 64-bit word at `addr`, locking only the owning
+    /// bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the owning bank's protection was
+    /// defeated.
+    pub fn read(&self, addr: u64) -> Result<u64, EngineError> {
+        let bank = self.bank_of(addr);
+        let local = self.local_addr(addr);
+        self.lock_bank(bank).read(local)
+    }
+
+    /// Writes the aligned 64-bit word at `addr`, locking only the owning
+    /// bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the owning bank's protection was
+    /// defeated.
+    pub fn write(&self, addr: u64, value: u64) -> Result<(), EngineError> {
+        let bank = self.bank_of(addr);
+        let local = self.local_addr(addr);
+        self.lock_bank(bank).write(local, value)
+    }
+
+    /// Injects an error into one bank's data array. Safe to call while
+    /// other threads are accessing the cache — the owning bank is locked
+    /// for the injection, and its next access triggers recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn inject_bank_error(&self, bank: usize, shape: ErrorShape) {
+        self.lock_bank(bank).inject_data_error(shape);
+    }
+
+    /// Injects a stuck-at fault into one bank's data array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn inject_bank_hard_error(&self, bank: usize, shape: ErrorShape, stuck: bool) {
+        self.lock_bank(bank).inject_data_hard_error(shape, stuck);
+    }
+
+    /// Scrubs every bank, one at a time — banks not currently being
+    /// scrubbed stay available to other threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first bank's [`EngineError`] if any bank holds
+    /// uncorrectable damage.
+    pub fn scrub(&self) -> Result<(), EngineError> {
+        for i in 0..self.banks.len() {
+            self.lock_bank(i).scrub()?;
+        }
+        Ok(())
+    }
+
+    /// Whether every bank passes its audit (locks one bank at a time).
+    pub fn audit(&self) -> bool {
+        (0..self.banks.len()).all(|i| self.lock_bank(i).audit())
+    }
+
+    /// Aggregated access statistics across banks, collected bank by bank
+    /// without any global lock. The result is a consistent snapshot per
+    /// bank, not across banks — under concurrent traffic the totals are
+    /// momentarily approximate, which is the standard contract for
+    /// sharded counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for i in 0..self.banks.len() {
+            let s = self.lock_bank(i).stats();
+            total.read_hits += s.read_hits;
+            total.read_misses += s.read_misses;
+            total.write_hits += s.write_hits;
+            total.write_misses += s.write_misses;
+            total.writebacks += s.writebacks;
+            total.errors_corrected += s.errors_corrected;
+        }
+        total
+    }
+
+    /// Aggregated data-array engine statistics across banks (recoveries,
+    /// extra reads, ...), collected bank by bank.
+    pub fn data_engine_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for i in 0..self.banks.len() {
+            let s = self.lock_bank(i).data_engine_stats();
+            total.reads += s.reads;
+            total.writes += s.writes;
+            total.extra_reads += s.extra_reads;
+            total.inline_corrections += s.inline_corrections;
+            total.recoveries += s.recoveries;
+            total.recovery_rows_scanned += s.recovery_rows_scanned;
+            total.bits_recovered += s.bits_recovered;
+            total.cells_remapped += s.cells_remapped;
+            total.scrub_passes += s.scrub_passes;
+        }
+        total
+    }
+}
+
+impl fmt::Debug for ConcurrentBankedCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ConcurrentBankedCache({} banks x {}B)",
+            self.banks.len(),
+            self.lock_bank(0).config().capacity()
+        )
+    }
+}
+
+// The whole point of the type: it can be shared across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ConcurrentBankedCache>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TwoDScheme;
+    use std::thread;
+
+    fn small_concurrent(banks: usize) -> ConcurrentBankedCache {
+        ConcurrentBankedCache::new(
+            CacheConfig {
+                sets: 16,
+                ways: 2,
+                data_scheme: TwoDScheme::l1_paper(),
+                tag_scheme: TwoDScheme {
+                    data_bits: 50,
+                    ..TwoDScheme::l1_paper()
+                },
+            },
+            banks,
+        )
+    }
+
+    #[test]
+    fn shared_reference_read_write() {
+        let c = small_concurrent(4);
+        for i in 0..64u64 {
+            c.write(i * 8, i + 1).unwrap();
+        }
+        for i in 0..64u64 {
+            assert_eq!(c.read(i * 8).unwrap(), i + 1, "word {i}");
+        }
+        assert!(c.audit());
+    }
+
+    #[test]
+    fn parallel_threads_span_all_banks() {
+        let c = small_concurrent(4);
+        thread::scope(|s| {
+            for t in 0u64..4 {
+                let c = &c;
+                s.spawn(move || {
+                    // Each thread touches every bank (stride one line).
+                    for i in 0..32u64 {
+                        let addr = (t * 32 + i) * 64;
+                        c.write(addr, t * 1000 + i).unwrap();
+                        assert_eq!(c.read(addr).unwrap(), t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let stats = c.stats();
+        assert_eq!(stats.write_misses + stats.write_hits, 128);
+        assert!(c.audit());
+    }
+
+    #[test]
+    fn injection_under_shared_reference_recovers() {
+        let c = small_concurrent(2);
+        for i in 0..32u64 {
+            c.write(i * 64, i ^ 0x5A).unwrap();
+        }
+        c.inject_bank_error(
+            1,
+            ErrorShape::Cluster {
+                row: 0,
+                col: 0,
+                height: 16,
+                width: 16,
+            },
+        );
+        for i in 0..32u64 {
+            assert_eq!(c.read(i * 64).unwrap(), i ^ 0x5A, "line {i}");
+        }
+        assert!(c.lock_bank(1).data_engine_stats().recoveries >= 1);
+        assert_eq!(c.lock_bank(0).data_engine_stats().recoveries, 0);
+        assert!(c.audit());
+    }
+
+    #[test]
+    fn engine_stats_aggregate_across_banks() {
+        let c = small_concurrent(2);
+        for i in 0..16u64 {
+            c.write(i * 64, i).unwrap();
+        }
+        let engine = c.data_engine_stats();
+        assert!(engine.writes > 0);
+        assert_eq!(
+            engine.writes,
+            c.lock_bank(0).data_engine_stats().writes + c.lock_bank(1).data_engine_stats().writes
+        );
+    }
+}

@@ -16,6 +16,11 @@
 //! * [`ProtectedCache`] — a functional set-associative write-back cache
 //!   with 2D-protected data and tag arrays, transparent recovery, and
 //!   fault injection hooks;
+//! * [`ConcurrentBankedCache`] — the thread-safe sharded service: one
+//!   lock per bank, `&self` reads/writes, per-bank recovery that never
+//!   stalls sibling banks;
+//! * [`BankedProtectedCache`] — the sequential (`&mut self`) facade over
+//!   the same banks;
 //! * [`analysis`] — the overhead composition behind the paper's Figure 7.
 //!
 //! ## Quickstart
@@ -40,8 +45,10 @@
 pub mod analysis;
 mod banked;
 mod cache;
+mod concurrent;
 mod scheme;
 
 pub use banked::BankedProtectedCache;
 pub use cache::{CacheConfig, CacheStats, ProtectedCache, LINE_BYTES};
+pub use concurrent::ConcurrentBankedCache;
 pub use scheme::TwoDScheme;

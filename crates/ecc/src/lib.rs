@@ -52,5 +52,5 @@ pub use bits::{Bits, IterOnes};
 pub use code::{Code, Decoded};
 pub use edc::Edc;
 pub use sbd::SecdedSbd;
-pub use scheme::{CodeKind, InterleavedScheme};
+pub use scheme::{shared_codec_builds, CodeKind, InterleavedScheme};
 pub use secded::Secded;

@@ -5,7 +5,10 @@
 
 use crate::logic::{LogicCost, LogicModel};
 use crate::{Bch, Code, Edc, Secded};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 /// The per-word code families evaluated in the paper.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -23,6 +26,29 @@ pub enum CodeKind {
     Oecned,
 }
 
+/// Process-wide registry of shared codec instances, keyed by
+/// `(CodeKind, data_bits)`. Entries are held weakly so codecs free their
+/// precomputed tables once every array using them is dropped.
+type CodecRegistry = Mutex<HashMap<(CodeKind, usize), Weak<dyn Code + Send + Sync>>>;
+
+fn codec_registry() -> &'static CodecRegistry {
+    static REGISTRY: OnceLock<CodecRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Cumulative count of actual codec constructions performed by
+/// [`CodeKind::build_shared`] (cache misses). Tests assert against deltas
+/// of this counter to prove table sets are built once and shared.
+static SHARED_CODEC_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Total codec table sets constructed so far through the shared registry.
+///
+/// Monotonically increasing; take a snapshot before an operation and
+/// compare after to count how many fresh table sets it caused.
+pub fn shared_codec_builds() -> u64 {
+    SHARED_CODEC_BUILDS.load(Ordering::SeqCst)
+}
+
 impl CodeKind {
     /// Instantiates the codec for a given data-word width.
     pub fn build(self, data_bits: usize) -> Box<dyn Code + Send + Sync> {
@@ -33,6 +59,23 @@ impl CodeKind {
             CodeKind::Qecped => Box::new(Bch::new(data_bits, 4)),
             CodeKind::Oecned => Box::new(Bch::new(data_bits, 8)),
         }
+    }
+
+    /// Returns the process-wide shared codec instance for this kind and
+    /// width, constructing it (and its precomputed parity/syndrome
+    /// tables) only on first use. Every bank, array, and cache level
+    /// asking for the same `(kind, data_bits)` pair receives clones of
+    /// one `Arc`, so the table memory exists once regardless of how many
+    /// banks the configuration is instantiated across.
+    pub fn build_shared(self, data_bits: usize) -> Arc<dyn Code + Send + Sync> {
+        let mut registry = codec_registry().lock().expect("codec registry poisoned");
+        if let Some(existing) = registry.get(&(self, data_bits)).and_then(Weak::upgrade) {
+            return existing;
+        }
+        let fresh: Arc<dyn Code + Send + Sync> = Arc::from(self.build(data_bits));
+        SHARED_CODEC_BUILDS.fetch_add(1, Ordering::SeqCst);
+        registry.insert((self, data_bits), Arc::downgrade(&fresh));
+        fresh
     }
 
     /// Number of check bits the codec stores for `data_bits`-bit words.
@@ -209,6 +252,39 @@ mod tests {
             InterleavedScheme::new(CodeKind::Dected, 16).to_string(),
             "DECTED+Intv16"
         );
+    }
+
+    #[test]
+    fn build_shared_reuses_one_instance() {
+        // One test covers the whole registry lifecycle: the build
+        // counter is process-global, so splitting these assertions
+        // across parallel #[test] fns would race.
+        let first = CodeKind::Dected.build_shared(48);
+        let second = CodeKind::Dected.build_shared(48);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "same (kind, width) must share one codec"
+        );
+        // A different width is a different codec.
+        let other = CodeKind::Dected.build_shared(32);
+        assert!(!Arc::ptr_eq(&first, &other));
+        // Counter deltas: widths 44/45 with EDC4 are unique to this test,
+        // and other tests in this binary never call build_shared, so the
+        // deltas below are exact even under parallel test execution.
+        let before = shared_codec_builds();
+        let a = CodeKind::Edc(4).build_shared(44);
+        let a2 = CodeKind::Edc(4).build_shared(44);
+        assert_eq!(
+            shared_codec_builds(),
+            before + 1,
+            "second request must not rebuild the tables"
+        );
+        assert!(Arc::ptr_eq(&a, &a2));
+        drop(a);
+        drop(a2);
+        // The weak entry is dead; the next request constructs afresh.
+        let _b = CodeKind::Edc(4).build_shared(44);
+        assert_eq!(shared_codec_builds(), before + 2);
     }
 
     #[test]

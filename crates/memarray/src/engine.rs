@@ -2,10 +2,11 @@
 //! interleaved parity, read-before-write updates, and the BIST-style
 //! multi-bit recovery process of the paper's Figure 4(b).
 
-use crate::{BitGrid, ErrorShape, FaultKind, FaultMap, InjectionReport, Injector, RowLayout};
-use crate::{EngineStats, VerticalParity};
+use crate::{BankScheme, BitGrid, ErrorShape, FaultKind, FaultMap, InjectionReport, Injector};
+use crate::{EngineStats, RowLayout, VerticalParity};
 use ecc::{Bits, Code, Decoded};
 use std::fmt;
+use std::sync::Arc;
 
 /// Outcome of a word read from a 2D-protected array.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -114,35 +115,26 @@ pub struct RecoveryReport {
 /// assert_eq!(out.into_data(), word);
 /// ```
 pub struct TwoDArray {
+    /// The immutable shared half: codec (with its precomputed tables),
+    /// layout, clean masks, and geometry. One [`BankScheme`] instance is
+    /// shared by every bank built from the same [`TwoDConfig`] — cloning
+    /// the `Arc` is how a banked cache avoids duplicating table sets.
+    scheme: Arc<BankScheme>,
     grid: BitGrid,
-    layout: RowLayout,
-    hcode: Box<dyn Code + Send + Sync>,
     vparity: VerticalParity,
     faults: FaultMap,
     stats: EngineStats,
-    /// When true (SECDED horizontal), single-bit errors found on reads are
-    /// corrected in-line and written back without engaging 2D recovery.
-    inline_correct: bool,
     /// When true, recovery remaps cells whose repair does not stick
     /// (stuck-at hard faults) to spares, mirroring BISR hardware.
     bisr_remap: bool,
     /// Maximum product-decoding iterations before declaring failure.
     max_iterations: usize,
-    /// Row-level clean masks, flattened `[word * check_bits + c]`: the
-    /// horizontal code is linear, so word `word` stores a self-consistent
-    /// codeword iff `parity(row & mask) == 0` for each of its check
-    /// equations. Precomputed from [`Code::parity_matrix`] at
-    /// construction; lets reads, writes, and recovery scans check
-    /// cleanliness with limb AND+popcount instead of per-bit extraction
-    /// and a full decode.
-    clean_masks: Vec<Bits>,
-    /// All physical columns (data + check) belonging to each word, used
-    /// for limb-level column-intersection during column-mode recovery.
-    word_col_masks: Vec<Bits>,
 }
 
-/// Construction parameters for [`TwoDArray`].
-#[derive(Clone, Copy, Debug)]
+/// Construction parameters for [`TwoDArray`], and the key under which
+/// [`BankScheme`] instances are shared: two banks with equal configs use
+/// one scheme (and one codec table set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TwoDConfig {
     /// Number of data rows in the bank.
     pub rows: usize,
@@ -157,62 +149,37 @@ pub struct TwoDConfig {
 }
 
 impl TwoDArray {
-    /// Creates a zero-initialized protected bank.
+    /// Creates a zero-initialized protected bank, sharing its table set
+    /// (codec, layout, clean masks) with every other bank built from the
+    /// same configuration via the process-wide scheme registry.
     ///
     /// # Panics
     ///
     /// Panics if any dimension is zero or `vertical_rows > rows`.
     pub fn new(config: TwoDConfig) -> Self {
-        assert!(config.rows > 0, "bank needs rows");
-        assert!(
-            config.vertical_rows >= 1 && config.vertical_rows <= config.rows,
-            "vertical rows must be in 1..=rows"
-        );
-        let hcode = config.horizontal.build(config.data_bits);
-        let layout = RowLayout::new(config.data_bits, hcode.check_bits(), config.interleave);
-        let grid = BitGrid::new(config.rows, layout.row_cols());
-        let vparity = VerticalParity::new(config.vertical_rows, layout.row_cols());
-        let inline_correct = hcode.correctable() >= 1;
-        // Row-level clean masks: check equation c of word w covers the
-        // physical columns of the data bits feeding check bit c plus the
-        // stored check bit itself.
-        let parity_matrix = hcode.parity_matrix();
-        let check_bits = hcode.check_bits();
-        let mut clean_masks = Vec::with_capacity(layout.interleave() * check_bits);
-        let mut word_col_masks = Vec::with_capacity(layout.interleave());
-        for w in 0..layout.interleave() {
-            for c in 0..check_bits {
-                let mut mask = Bits::zeros(layout.row_cols());
-                for (i, check_row) in parity_matrix.iter().enumerate() {
-                    if check_row.get(c) {
-                        mask.set(layout.data_col(w, i), true);
-                    }
-                }
-                mask.set(layout.check_col(w, c), true);
-                clean_masks.push(mask);
-            }
-            let mut cols = Bits::zeros(layout.row_cols());
-            for i in 0..layout.data_bits() {
-                cols.set(layout.data_col(w, i), true);
-            }
-            for c in 0..check_bits {
-                cols.set(layout.check_col(w, c), true);
-            }
-            word_col_masks.push(cols);
-        }
+        TwoDArray::from_scheme(BankScheme::shared(config))
+    }
+
+    /// Creates a zero-initialized protected bank over an existing shared
+    /// scheme. Only the mutable per-bank state (cell grid, vertical
+    /// parity rows, fault overlay, stats) is allocated.
+    pub fn from_scheme(scheme: Arc<BankScheme>) -> Self {
+        let grid = BitGrid::new(scheme.rows(), scheme.cols());
+        let vparity = VerticalParity::new(scheme.vertical_rows(), scheme.cols());
         TwoDArray {
+            scheme,
             grid,
-            layout,
-            hcode,
             vparity,
             faults: FaultMap::new(),
             stats: EngineStats::default(),
-            inline_correct,
             bisr_remap: true,
             max_iterations: 4,
-            clean_masks,
-            word_col_masks,
         }
+    }
+
+    /// The shared immutable scheme this bank runs on.
+    pub fn scheme(&self) -> &Arc<BankScheme> {
+        &self.scheme
     }
 
     /// Enables or disables the BISR remap stage of recovery (enabled by
@@ -235,17 +202,23 @@ impl TwoDArray {
 
     /// Words per row (the interleave degree).
     pub fn words_per_row(&self) -> usize {
-        self.layout.interleave()
+        self.layout().interleave()
     }
 
     /// The physical row layout.
     pub fn layout(&self) -> RowLayout {
-        self.layout
+        self.scheme.layout()
     }
 
     /// The horizontal code protecting each word.
     pub fn horizontal_code(&self) -> &(dyn Code + Send + Sync) {
-        self.hcode.as_ref()
+        self.scheme.codec().as_ref()
+    }
+
+    /// Internal shorthand for the shared horizontal codec.
+    #[inline]
+    fn hcode(&self) -> &(dyn Code + Send + Sync) {
+        self.scheme.codec().as_ref()
     }
 
     /// The vertical parity state.
@@ -283,16 +256,10 @@ impl TwoDArray {
     }
 
     /// Whether word `word` of a physical row stores a self-consistent
-    /// codeword (its stored check equals the re-encode of its data),
-    /// checked at limb granularity against the precomputed clean masks.
-    /// Equivalent to `decode(..) == Decoded::Clean` for the linear codes
-    /// this crate uses.
+    /// codeword, checked against the scheme's precomputed clean masks.
     #[inline]
     fn word_clean(&self, row: &Bits, word: usize) -> bool {
-        let cb = self.hcode.check_bits();
-        self.clean_masks[word * cb..(word + 1) * cb]
-            .iter()
-            .all(|mask| !row.masked_parity(mask))
+        self.scheme.word_clean(row, word)
     }
 
     /// Writes a physical row; stuck cells silently retain their value
@@ -325,13 +292,13 @@ impl TwoDArray {
         // decode and keep the stored check bits for the vertical delta —
         // no extraction and no re-encode of the old word.
         if !self.word_clean(&old_row, word) {
-            let old_data = self.layout.extract_data(&old_row, word);
-            let old_check = self.layout.extract_check(&old_row, word);
-            match self.hcode.decode(&old_data, &old_check) {
-                Decoded::Corrected { data: fixed, .. } if self.inline_correct => {
+            let old_data = self.layout().extract_data(&old_row, word);
+            let old_check = self.layout().extract_check(&old_row, word);
+            match self.hcode().decode(&old_data, &old_check) {
+                Decoded::Corrected { data: fixed, .. } if self.scheme.inline_correct() => {
                     // Use the corrected old word for the parity delta.
-                    let fixed_check = self.hcode.encode(&fixed);
-                    self.layout
+                    let fixed_check = self.hcode().encode(&fixed);
+                    self.layout()
                         .place_word(&mut old_row, word, &fixed, &fixed_check);
                 }
                 Decoded::Clean => {}
@@ -343,8 +310,8 @@ impl TwoDArray {
             }
         }
         let mut new_row = old_row.clone();
-        let check = self.hcode.encode(data);
-        self.layout.place_word(&mut new_row, word, data, &check);
+        let check = self.hcode().encode(data);
+        self.layout().place_word(&mut new_row, word, data, &check);
         self.vparity.update(row, &old_row, &new_row);
         self.write_row_raw(row, &new_row);
         self.stats.writes += 1;
@@ -372,21 +339,21 @@ impl TwoDArray {
         // extraction, no decode machinery.
         if self.word_clean(&row_bits, word) {
             return Ok(ReadOutcome::Clean(
-                self.layout.extract_data(&row_bits, word),
+                self.layout().extract_data(&row_bits, word),
             ));
         }
-        let data = self.layout.extract_data(&row_bits, word);
-        let check = self.layout.extract_check(&row_bits, word);
-        match self.hcode.decode(&data, &check) {
+        let data = self.layout().extract_data(&row_bits, word);
+        let check = self.layout().extract_check(&row_bits, word);
+        match self.hcode().decode(&data, &check) {
             Decoded::Clean => Ok(ReadOutcome::Clean(data)),
-            Decoded::Corrected { data: fixed, .. } if self.inline_correct => {
+            Decoded::Corrected { data: fixed, .. } if self.scheme.inline_correct() => {
                 self.stats.inline_corrections += 1;
                 // Write back the corrected word. The correction restores
                 // the intended data, which the stored vertical parity
                 // already reflects, so the parity is NOT updated here.
                 let mut new_row = row_bits.clone();
-                let new_check = self.hcode.encode(&fixed);
-                self.layout
+                let new_check = self.hcode().encode(&fixed);
+                self.layout()
                     .place_word(&mut new_row, word, &fixed, &new_check);
                 self.write_row_raw(row, &new_row);
                 Ok(ReadOutcome::CorrectedInline(fixed))
@@ -395,9 +362,9 @@ impl TwoDArray {
                 // Multi-bit (or detection-only) error: 2D recovery.
                 self.recover()?;
                 let row_bits = self.read_row_raw(row);
-                let data = self.layout.extract_data(&row_bits, word);
-                let check = self.layout.extract_check(&row_bits, word);
-                match self.hcode.decode(&data, &check) {
+                let data = self.layout().extract_data(&row_bits, word);
+                let check = self.layout().extract_check(&row_bits, word);
+                match self.hcode().decode(&data, &check) {
                     Decoded::Clean => Ok(ReadOutcome::Recovered(data)),
                     Decoded::Corrected { data: fixed, .. } => Ok(ReadOutcome::Recovered(fixed)),
                     Decoded::Detected => Err(EngineError::Uncorrectable {
@@ -455,9 +422,11 @@ impl TwoDArray {
             if self.word_clean(row, w) {
                 return false;
             }
-            let data = self.layout.extract_data(row, w);
-            let check = self.layout.extract_check(row, w);
-            self.hcode.decode(&data, &check).is_detected_uncorrectable()
+            let data = self.layout().extract_data(row, w);
+            let check = self.layout().extract_check(row, w);
+            self.hcode()
+                .decode(&data, &check)
+                .is_detected_uncorrectable()
         })
     }
 
@@ -512,7 +481,7 @@ impl TwoDArray {
             let mut progressed = false;
 
             // Pass 1 — inline-correctable single-bit rows (SECDED mode).
-            if self.inline_correct {
+            if self.scheme.inline_correct() {
                 for stripe_list in &flagged {
                     for &r in stripe_list {
                         progressed |= self.try_inline_row_fix(r, &mut cache, &mut report);
@@ -676,11 +645,12 @@ impl TwoDArray {
             if self.word_clean(&repaired, w) {
                 continue;
             }
-            let data = self.layout.extract_data(&repaired, w);
-            let check = self.layout.extract_check(&repaired, w);
-            if let Decoded::Corrected { data: fixed, .. } = self.hcode.decode(&data, &check) {
-                let new_check = self.hcode.encode(&fixed);
-                self.layout.place_word(&mut repaired, w, &fixed, &new_check);
+            let data = self.layout().extract_data(&repaired, w);
+            let check = self.layout().extract_check(&repaired, w);
+            if let Decoded::Corrected { data: fixed, .. } = self.hcode().decode(&data, &check) {
+                let new_check = self.hcode().encode(&fixed);
+                self.layout()
+                    .place_word(&mut repaired, w, &fixed, &new_check);
                 fixed_any = true;
             }
         }
@@ -725,7 +695,7 @@ impl TwoDArray {
             if self.word_clean(&repaired, w) {
                 continue;
             }
-            let word_suspects = suspect.and(&self.word_col_masks[w]);
+            let word_suspects = suspect.and(self.scheme.word_col_mask(w));
             if word_suspects.is_zero() {
                 continue;
             }
@@ -822,7 +792,7 @@ impl fmt::Debug for TwoDArray {
             self.rows(),
             self.cols(),
             self.words_per_row(),
-            self.hcode.name(),
+            self.hcode().name(),
             self.vparity.interleave()
         )
     }

@@ -8,6 +8,9 @@
 //! * [`RowLayout`] — physical bit interleaving of codewords along a row;
 //! * [`VerticalParity`] — the interleaved vertical parity rows (the
 //!   correction half of 2D coding), maintained by read-before-write;
+//! * [`BankScheme`] — the immutable shared half of a bank (codec with
+//!   its precomputed tables, layout, clean masks), built once per
+//!   distinct [`TwoDConfig`] and shared by every bank via `Arc`;
 //! * [`TwoDArray`] — the complete 2D-protected bank: per-word horizontal
 //!   coding, vertical parity updates, in-line SECDED correction, and the
 //!   BIST-style multi-bit recovery process (row mode, column mode, and
@@ -46,6 +49,7 @@ mod faults;
 mod layout;
 pub mod march;
 pub mod scrub;
+mod shared;
 mod stats;
 mod vertical;
 
@@ -53,5 +57,6 @@ pub use bitgrid::BitGrid;
 pub use engine::{EngineError, ReadOutcome, RecoveryReport, TwoDArray, TwoDConfig};
 pub use faults::{ErrorShape, FaultKind, FaultMap, InjectionReport, Injector};
 pub use layout::RowLayout;
+pub use shared::{shared_scheme_builds, BankScheme};
 pub use stats::EngineStats;
 pub use vertical::VerticalParity;

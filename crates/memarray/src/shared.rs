@@ -1,0 +1,263 @@
+//! The immutable, shareable half of a 2D-protected bank.
+//!
+//! A [`TwoDConfig`] fully determines everything about a bank that never
+//! changes after construction: the horizontal codec (with its
+//! precomputed parity/syndrome tables), the physical [`RowLayout`], the
+//! row-level clean masks derived from the codec's parity matrix, and the
+//! vertical-parity geometry. [`BankScheme`] packages exactly that state,
+//! and [`BankScheme::shared`] hands out one `Arc` per distinct config,
+//! so an N-bank cache — or the data and tag arrays of one cache — pays
+//! for one table set instead of N.
+//!
+//! The mutable remainder (cell grid, parity row contents, fault overlay,
+//! stats) lives in [`crate::TwoDArray`], one instance per bank.
+
+use crate::{RowLayout, TwoDConfig};
+use ecc::{Bits, Code};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Cumulative count of [`BankScheme`] table-set constructions performed
+/// by [`BankScheme::shared`] (cache misses). Like
+/// [`ecc::shared_codec_builds`], tests compare deltas of this counter to
+/// prove that identical configurations reuse one scheme.
+static SHARED_SCHEME_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Total bank-scheme table sets constructed so far through the shared
+/// registry. Monotonically increasing.
+pub fn shared_scheme_builds() -> u64 {
+    SHARED_SCHEME_BUILDS.load(Ordering::SeqCst)
+}
+
+type SchemeRegistry = Mutex<HashMap<TwoDConfig, Weak<BankScheme>>>;
+
+fn scheme_registry() -> &'static SchemeRegistry {
+    static REGISTRY: OnceLock<SchemeRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The immutable shared part of a 2D-protected bank: codec, layout, and
+/// the precomputed masks every access path checks against.
+///
+/// Construction is comparatively expensive (the codec builds its parity
+/// and syndrome tables, and one clean mask is derived per check equation
+/// per interleaved word); cloning the `Arc` is free. Both the data and
+/// tag arrays of a cache, and every bank of a banked cache, share one
+/// instance per distinct [`TwoDConfig`].
+pub struct BankScheme {
+    config: TwoDConfig,
+    hcode: Arc<dyn Code + Send + Sync>,
+    layout: RowLayout,
+    /// Row-level clean masks, flattened `[word * check_bits + c]`: the
+    /// horizontal code is linear, so word `word` stores a self-consistent
+    /// codeword iff `parity(row & mask) == 0` for each of its check
+    /// equations. Lets reads, writes, and recovery scans check
+    /// cleanliness with limb AND+popcount instead of per-bit extraction
+    /// and a full decode.
+    clean_masks: Vec<Bits>,
+    /// All physical columns (data + check) belonging to each word, used
+    /// for limb-level column-intersection during column-mode recovery.
+    word_col_masks: Vec<Bits>,
+    /// When true (SECDED horizontal), single-bit errors found on reads
+    /// are corrected in-line without engaging 2D recovery.
+    inline_correct: bool,
+}
+
+impl BankScheme {
+    /// Builds the scheme for `config` from scratch. The horizontal codec
+    /// still comes from the process-wide codec registry
+    /// ([`ecc::CodeKind::build_shared`]), so even unshared schemes with
+    /// the same `(kind, data_bits)` share codec tables. Prefer
+    /// [`BankScheme::shared`] unless a private instance is explicitly
+    /// wanted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `vertical_rows > rows`.
+    pub fn new(config: TwoDConfig) -> Self {
+        assert!(config.rows > 0, "bank needs rows");
+        assert!(
+            config.vertical_rows >= 1 && config.vertical_rows <= config.rows,
+            "vertical rows must be in 1..=rows"
+        );
+        let hcode = config.horizontal.build_shared(config.data_bits);
+        let layout = RowLayout::new(config.data_bits, hcode.check_bits(), config.interleave);
+        let inline_correct = hcode.correctable() >= 1;
+        // Row-level clean masks: check equation c of word w covers the
+        // physical columns of the data bits feeding check bit c plus the
+        // stored check bit itself.
+        let parity_matrix = hcode.parity_matrix();
+        let check_bits = hcode.check_bits();
+        let mut clean_masks = Vec::with_capacity(layout.interleave() * check_bits);
+        let mut word_col_masks = Vec::with_capacity(layout.interleave());
+        for w in 0..layout.interleave() {
+            for c in 0..check_bits {
+                let mut mask = Bits::zeros(layout.row_cols());
+                for (i, check_row) in parity_matrix.iter().enumerate() {
+                    if check_row.get(c) {
+                        mask.set(layout.data_col(w, i), true);
+                    }
+                }
+                mask.set(layout.check_col(w, c), true);
+                clean_masks.push(mask);
+            }
+            let mut cols = Bits::zeros(layout.row_cols());
+            for i in 0..layout.data_bits() {
+                cols.set(layout.data_col(w, i), true);
+            }
+            for c in 0..check_bits {
+                cols.set(layout.check_col(w, c), true);
+            }
+            word_col_masks.push(cols);
+        }
+        BankScheme {
+            config,
+            hcode,
+            layout,
+            clean_masks,
+            word_col_masks,
+            inline_correct,
+        }
+    }
+
+    /// Returns the process-wide shared scheme for `config`, building its
+    /// table set only on first use. Identical configs — every bank of a
+    /// banked cache, or the data arrays of sibling caches — receive
+    /// clones of one `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `vertical_rows > rows`.
+    pub fn shared(config: TwoDConfig) -> Arc<BankScheme> {
+        let mut registry = scheme_registry().lock().expect("scheme registry poisoned");
+        if let Some(existing) = registry.get(&config).and_then(Weak::upgrade) {
+            return existing;
+        }
+        let fresh = Arc::new(BankScheme::new(config));
+        SHARED_SCHEME_BUILDS.fetch_add(1, Ordering::SeqCst);
+        registry.insert(config, Arc::downgrade(&fresh));
+        fresh
+    }
+
+    /// The configuration this scheme was built from.
+    pub fn config(&self) -> TwoDConfig {
+        self.config
+    }
+
+    /// The shared horizontal codec.
+    pub fn codec(&self) -> &Arc<dyn Code + Send + Sync> {
+        &self.hcode
+    }
+
+    /// The physical row layout.
+    pub fn layout(&self) -> RowLayout {
+        self.layout
+    }
+
+    /// Number of data rows per bank.
+    pub fn rows(&self) -> usize {
+        self.config.rows
+    }
+
+    /// Physical columns per row.
+    pub fn cols(&self) -> usize {
+        self.layout.row_cols()
+    }
+
+    /// Vertical parity rows per bank (the vertical interleave factor).
+    pub fn vertical_rows(&self) -> usize {
+        self.config.vertical_rows
+    }
+
+    /// Whether the horizontal code corrects single-bit errors in-line.
+    pub fn inline_correct(&self) -> bool {
+        self.inline_correct
+    }
+
+    /// Whether word `word` of a physical row stores a self-consistent
+    /// codeword (its stored check equals the re-encode of its data),
+    /// checked at limb granularity against the precomputed clean masks.
+    /// Equivalent to `decode(..) == Decoded::Clean` for the linear codes
+    /// this crate uses.
+    #[inline]
+    pub fn word_clean(&self, row: &Bits, word: usize) -> bool {
+        let cb = self.hcode.check_bits();
+        self.clean_masks[word * cb..(word + 1) * cb]
+            .iter()
+            .all(|mask| !row.masked_parity(mask))
+    }
+
+    /// Whether every word of a physical row stores a self-consistent
+    /// codeword.
+    pub fn row_clean(&self, row: &Bits) -> bool {
+        (0..self.layout.interleave()).all(|w| self.word_clean(row, w))
+    }
+
+    /// All physical columns (data + check) belonging to word `word`, as
+    /// a row-width mask.
+    pub fn word_col_mask(&self, word: usize) -> &Bits {
+        &self.word_col_masks[word]
+    }
+}
+
+impl std::fmt::Debug for BankScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BankScheme({} rows x {} cols, {} words/row, hcode={}, V={})",
+            self.rows(),
+            self.cols(),
+            self.layout.interleave(),
+            self.hcode.name(),
+            self.vertical_rows()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecc::CodeKind;
+
+    fn config(rows: usize) -> TwoDConfig {
+        TwoDConfig {
+            rows,
+            horizontal: CodeKind::Edc(8),
+            data_bits: 64,
+            interleave: 4,
+            vertical_rows: 32,
+        }
+    }
+
+    #[test]
+    fn shared_reuses_identical_configs() {
+        let a = BankScheme::shared(config(128));
+        let before = shared_scheme_builds();
+        let b = BankScheme::shared(config(128));
+        assert!(Arc::ptr_eq(&a, &b), "identical configs must share");
+        assert_eq!(shared_scheme_builds(), before, "no rebuild on reuse");
+        // A different row count is a different scheme...
+        let c = BankScheme::shared(config(256));
+        assert!(!Arc::ptr_eq(&a, &c));
+        // ...but still shares the codec tables underneath.
+        assert!(Arc::ptr_eq(a.codec(), c.codec()));
+    }
+
+    #[test]
+    fn clean_masks_match_encode() {
+        use ecc::Bits;
+        let scheme = BankScheme::new(config(64));
+        let layout = scheme.layout();
+        // Place one encoded word; the row must check clean for that word.
+        let data = Bits::from_u64(0xDEAD_BEEF_1234_5678, 64);
+        let check = scheme.codec().encode(&data);
+        let mut row = Bits::zeros(layout.row_cols());
+        layout.place_word(&mut row, 2, &data, &check);
+        assert!(scheme.word_clean(&row, 2));
+        // Any single flipped bit of that word must dirty it.
+        let col = layout.data_col(2, 17);
+        row.flip(col);
+        assert!(!scheme.word_clean(&row, 2));
+    }
+}

@@ -5,9 +5,21 @@ BENCH_*.json baselines and fail when any shared measurement regresses.
 Usage:
     python3 scripts/bench_gate.py \
         --baseline BENCH_codecs.json --fresh target/bench-gate/BENCH_codecs.json \
-        --baseline BENCH_engine.json --fresh target/bench-gate/BENCH_engine.json
+        --baseline BENCH_engine.json --fresh target/bench-gate/BENCH_engine.json \
+        --baseline BENCH_service.json --fresh target/bench-gate/BENCH_service.json
 
 Each --baseline is paired positionally with the matching --fresh file.
+
+BENCH_service.json rows are aggregate wall-clock ns/op of the concurrent
+sharded cache service (`service.seq_ops` = lock-free sequential
+reference, `service.conc_ops_Nt` = N worker threads). Only `seq_ops`
+and `conc_ops_1t` are gated: they measure single-threaded code paths,
+so their ratios are core-count independent like every other row. The
+multi-threaded rows (`conc_ops_{2,4,8}t`) shrink with the parallelism
+actually available — a baseline from a many-core box against a 2-core
+CI runner would fail the gate with no code change — so they are
+reported informationally (and summarized as scaling factors) but never
+failed on.
 
 Tolerance
 ---------
@@ -55,6 +67,21 @@ def load_results(path):
     return {(r["name"], r["op"]): float(r["mean_ns"]) for r in doc["results"]}
 
 
+def service_summary(path):
+    """Print derived service figures (scaling, lock overhead) for one
+    freshly measured BENCH_service.json. Informational only."""
+    results = load_results(path)
+    one = results.get(("service", "conc_ops_1t"))
+    seq = results.get(("service", "seq_ops"))
+    if one:
+        for n in (2, 4, 8):
+            nt = results.get(("service", f"conc_ops_{n}t"))
+            if nt:
+                print(f"  [info] service scaling at {n} threads: {one / nt:.2f}x")
+    if one and seq:
+        print(f"  [info] single-thread lock overhead: {(one / seq - 1) * 100:+.1f}%")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", action="append", required=True,
@@ -80,11 +107,20 @@ def main():
                 print(f"  [new ] {name}: not in baseline yet ({fresh[key]:.1f} ns)")
                 continue
             ratio = fresh[key] / base[key] if base[key] > 0 else float("inf")
+            if (key[0] == "service" and key[1].startswith("conc_ops_")
+                    and key[1] != "conc_ops_1t"):
+                # Multi-threaded rows vary with the runner's core count,
+                # not with the code under test (see module docstring).
+                print(f"  [info] {name}: baseline {base[key]:.1f} ns, "
+                      f"fresh {fresh[key]:.1f} ns ({ratio:.2f}x, not gated)")
+                continue
             status = "FAIL" if ratio > args.tolerance else "ok"
             print(f"  [{status:>4}] {name}: baseline {base[key]:.1f} ns, "
                   f"fresh {fresh[key]:.1f} ns ({ratio:.2f}x)")
             if ratio > args.tolerance:
                 regressions.append((name, base[key], fresh[key], ratio))
+        if any(k[0] == "service" for k in fresh):
+            service_summary(fresh_path)
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond {args.tolerance}x:")
