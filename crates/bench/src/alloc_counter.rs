@@ -1,0 +1,77 @@
+//! A counting global allocator for allocation-regression tests and
+//! allocs-per-op bench rows.
+//!
+//! [`CountingAlloc`] forwards every request to the system allocator and
+//! counts allocations in a relaxed atomic, so the overhead on the code
+//! under measurement is one fetch-add per allocation — and the whole
+//! point of the hot paths it guards is that they perform none.
+//!
+//! Registration is explicit: a test binary installs it with
+//! `#[global_allocator]` itself, and the `perf` binary registers it only
+//! when the crate is built with the `count-allocs` feature, so ordinary
+//! builds keep the stock allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper that counts every allocation (including
+/// reallocations, which may allocate).
+#[derive(Debug)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A const constructor so the allocator can be a `static`.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+// SAFETY: pure pass-through to `System`; the counter has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocations performed so far by a registered [`CountingAlloc`].
+/// Stays at zero when no counting allocator is installed.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Allocations performed by `f`. Meaningful only in a binary that
+/// registered a [`CountingAlloc`] with `#[global_allocator]` (the
+/// allocation-regression test does so directly; the perf binary does it
+/// behind the `count-allocs` feature — see
+/// [`counting_feature_enabled`]). Without one, the count is trivially
+/// zero.
+pub fn count<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = allocations();
+    let out = f();
+    (out, allocations() - before)
+}
+
+/// Whether this build registers the counting allocator in the perf
+/// binary (the `count-allocs` feature).
+pub const fn counting_feature_enabled() -> bool {
+    cfg!(feature = "count-allocs")
+}

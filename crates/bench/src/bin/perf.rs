@@ -22,6 +22,7 @@
 //! bit flips injected — for BCH codes this exercises Berlekamp–Massey
 //! and the Chien search).
 
+use bench::alloc_counter;
 use cachesim::{generate_ops, run_traffic, AccessPattern, Op, TrafficConfig};
 use ecc::{Bch, Bits, Code, CodeKind, Edc, Secded};
 use memarray::{ErrorShape, TwoDArray, TwoDConfig};
@@ -31,12 +32,23 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 use twod_cache::{CacheConfig, ConcurrentBankedCache, ProtectedCache, LINE_BYTES};
 
+/// With the `count-allocs` feature the perf binary runs under the
+/// counting allocator, so every row additionally reports allocs/op —
+/// that is how the committed BENCH_cache.json pins the hot paths at
+/// 0 allocs/op.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc::new();
+
 /// One measured operation.
 struct Sample {
     name: &'static str,
     op: &'static str,
     mean_ns: f64,
     iters: u64,
+    /// Mean heap allocations per iteration; present only when built with
+    /// `count-allocs`.
+    allocs_per_op: Option<f64>,
 }
 
 /// Measurement budget. Quick mode keeps CI smoke runs to well under a
@@ -112,6 +124,7 @@ impl Runner {
         // budget by at most one chunk, not a fixed iteration count.
         let mut iters: u64 = 0;
         let mut chunk: u64 = 1;
+        let allocs_before = alloc_counter::allocations();
         let started = Instant::now();
         loop {
             for _ in 0..chunk {
@@ -123,11 +136,15 @@ impl Runner {
             }
             chunk = (chunk * 2).min(4_096);
         }
+        let elapsed = started.elapsed().as_nanos();
+        let allocs = alloc_counter::allocations() - allocs_before;
         self.samples.push(Sample {
             name,
             op,
-            mean_ns: started.elapsed().as_nanos() as f64 / iters as f64,
+            mean_ns: elapsed as f64 / iters as f64,
             iters,
+            allocs_per_op: alloc_counter::counting_feature_enabled()
+                .then(|| allocs as f64 / iters as f64),
         });
     }
 
@@ -213,6 +230,51 @@ fn engine_samples(runner: &mut Runner) -> Vec<Sample> {
     runner.take_samples()
 }
 
+/// The protected-cache benchmark set: steady-state clean hits through
+/// the full stack (tag lookup, LRU, data access) — the paths the
+/// scratch-buffer / u64 fast lanes made allocation-free. All accesses
+/// are warmed so every measured op is a pure hit.
+fn cache_samples(runner: &mut Runner) -> Vec<Sample> {
+    const LINES: u64 = 64;
+    let mut cache = ProtectedCache::new(CacheConfig::l1_64kb());
+    for i in 0..LINES {
+        cache.write(i * LINE_BYTES as u64, i).unwrap();
+    }
+    let mut i = 0u64;
+    runner.bench("cache", "read_hit", || {
+        let v = cache.read((i % LINES) * LINE_BYTES as u64).unwrap();
+        i = i.wrapping_add(1);
+        v
+    });
+    let mut i = 0u64;
+    runner.bench("cache", "write_hit", || {
+        cache.write((i % LINES) * LINE_BYTES as u64, i).unwrap();
+        i = i.wrapping_add(1);
+    });
+    // Silent write hit: the stored word already equals the new data, so
+    // the row write and parity update are suppressed (Kishani et al.).
+    for i in 0..LINES {
+        cache.write(i * LINE_BYTES as u64, 0x0D15_EA5E).unwrap();
+    }
+    let mut i = 0u64;
+    runner.bench("cache", "write_hit_silent", || {
+        cache
+            .write((i % LINES) * LINE_BYTES as u64, 0x0D15_EA5E)
+            .unwrap();
+        i = i.wrapping_add(1);
+    });
+    // Miss + line fill churn: three tags cycling through one 2-way set,
+    // so every access misses and refills a full line.
+    let sets = cache.config().sets as u64;
+    let mut i = 0u64;
+    runner.bench("cache", "read_miss_fill", || {
+        let v = cache.read((i % 3) * sets * LINE_BYTES as u64).unwrap();
+        i = i.wrapping_add(1);
+        v
+    });
+    runner.take_samples()
+}
+
 /// Lock-free sequential sharded reference: the same address-interleaved
 /// math as the banked caches over plain `Vec<ProtectedCache>`. This is
 /// the honest "sequential path" baseline for the lock-per-bank service:
@@ -287,6 +349,7 @@ fn service_samples(quick: bool, filter: &Option<String>) -> Vec<Sample> {
             op: "seq_ops",
             mean_ns: started.elapsed().as_nanos() as f64 / ops.len() as f64,
             iters: ops.len() as u64,
+            allocs_per_op: None,
         });
     }
 
@@ -308,6 +371,7 @@ fn service_samples(quick: bool, filter: &Option<String>) -> Vec<Sample> {
             op,
             mean_ns: report.mean_ns_per_op(),
             iters: report.total_ops,
+            allocs_per_op: None,
         });
     }
 
@@ -333,9 +397,13 @@ fn render_json(mode: &str, samples: &[Sample]) -> String {
     s.push_str("  \"results\": [\n");
     for (i, r) in samples.iter().enumerate() {
         let comma = if i + 1 == samples.len() { "" } else { "," };
+        let allocs = match r.allocs_per_op {
+            Some(a) => format!(", \"allocs_per_op\": {a:.3}"),
+            None => String::new(),
+        };
         let _ = writeln!(
             s,
-            "    {{\"name\": \"{}\", \"op\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}}}{comma}",
+            "    {{\"name\": \"{}\", \"op\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}{allocs}}}{comma}",
             r.name, r.op, r.mean_ns, r.iters
         );
     }
@@ -352,7 +420,13 @@ fn emit(path: &Path, mode: &str, samples: &[Sample], print_only: bool) {
         println!("wrote {} ({} results)", path.display(), samples.len());
     }
     for r in samples {
-        println!("  {:<12} {:<22} {:>12.1} ns/op", r.name, r.op, r.mean_ns);
+        match r.allocs_per_op {
+            Some(a) => println!(
+                "  {:<12} {:<22} {:>12.1} ns/op {:>8.3} allocs/op",
+                r.name, r.op, r.mean_ns, a
+            ),
+            None => println!("  {:<12} {:<22} {:>12.1} ns/op", r.name, r.op, r.mean_ns),
+        }
     }
 }
 
@@ -389,9 +463,15 @@ fn main() {
                 println!("usage: perf [--quick] [--out-dir DIR] [--filter SUBSTR]");
                 println!();
                 println!("  --filter matches against `name.op` keys (e.g. 'oecned',");
-                println!("  'encode', 'twod_array.recover'). Filtered runs print the");
-                println!("  results without writing BENCH_*.json, so a subset run can");
-                println!("  never clobber a committed full baseline.");
+                println!("  'encode', 'twod_array.recover', 'cache.read_hit',");
+                println!("  'cache.write_hit', 'cache.write_hit_silent',");
+                println!("  'cache.read_miss_fill'). Filtered runs print the results");
+                println!("  without writing BENCH_*.json, so a subset run can never");
+                println!("  clobber a committed full baseline.");
+                println!();
+                println!("  Built with `--features count-allocs`, every row also");
+                println!("  reports allocs/op (how BENCH_cache.json pins the clean");
+                println!("  hit paths at 0 allocs/op).");
                 return;
             }
             other => {
@@ -417,6 +497,8 @@ fn main() {
         &engine,
         print_only,
     );
+    let cache = cache_samples(&mut runner);
+    emit(&out_dir.join("BENCH_cache.json"), mode, &cache, print_only);
     let service = service_samples(quick, &runner.filter);
     emit(
         &out_dir.join("BENCH_service.json"),

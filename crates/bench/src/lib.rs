@@ -1,9 +1,13 @@
-//! Shared output helpers for the figure-regeneration binaries.
+//! Shared output helpers for the figure-regeneration binaries, plus the
+//! counting global allocator used by the allocation-regression suite and
+//! (behind the `count-allocs` feature) the perf emitter.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper and prints it as an aligned ASCII table plus, where useful, a
 //! crude bar rendering so the *shape* can be eyeballed against the
 //! original figure.
+
+pub mod alloc_counter;
 
 /// Prints a section header.
 pub fn header(title: &str) {

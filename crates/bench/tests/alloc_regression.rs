@@ -1,0 +1,132 @@
+//! Allocation-regression pin: clean read hits and clean write hits must
+//! perform ZERO heap allocations, end to end through the protected
+//! cache — this is the contract of the scratch-buffer / u64 fast lanes.
+//!
+//! The counting allocator is registered for this whole test binary, and
+//! its counter is process-global — so everything runs inside ONE `#[test]`
+//! function: with multiple tests, libtest's worker threads (and the
+//! harness itself) would allocate concurrently with a measured window
+//! and the counts would race. Each section warms its cache/bank so the
+//! measured window contains only clean hits, then counts allocations
+//! across a burst of operations.
+
+use bench::alloc_counter::{self, CountingAlloc};
+use ecc::{Bits, CodeKind};
+use memarray::{TwoDArray, TwoDConfig};
+use twod_cache::{CacheConfig, ProtectedCache};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+const OPS: u64 = 4_096;
+
+/// Asserts that `f` performs zero allocations in at least one of three
+/// runs. The process-global counter can pick up stray one-off
+/// allocations from the harness (lazy stdio/thread init on another
+/// thread), but a genuine hot-path regression allocates on *every* op —
+/// thousands per window — and can never produce a zero window.
+fn assert_zero_allocs(label: &str, mut f: impl FnMut()) {
+    let mut counts = [0u64; 3];
+    for slot in &mut counts {
+        let ((), allocs) = alloc_counter::count(&mut f);
+        *slot = allocs;
+        if allocs == 0 {
+            return;
+        }
+    }
+    panic!("{label} must not touch the allocator (3 windows: {counts:?})");
+}
+
+#[test]
+fn zero_allocation_hot_paths() {
+    clean_read_hits();
+    clean_write_hits();
+    engine_u64_lanes();
+    bits_write_word_clean_path();
+}
+
+fn clean_read_hits() {
+    let mut cache = ProtectedCache::new(CacheConfig::l1_64kb());
+    // Warm: allocate the lines so every measured access is a pure hit.
+    for i in 0..64u64 {
+        cache.write(i * 8, i).unwrap();
+    }
+    assert_zero_allocs("clean read hits", || {
+        let mut acc = 0u64;
+        for op in 0..OPS {
+            acc ^= cache.read((op % 64) * 8).unwrap();
+        }
+        std::hint::black_box(acc);
+    });
+}
+
+fn clean_write_hits() {
+    let mut cache = ProtectedCache::new(CacheConfig::l1_64kb());
+    for i in 0..64u64 {
+        cache.write(i * 8, i).unwrap(); // lines resident and already dirty
+    }
+    assert_zero_allocs("clean write hits", || {
+        for op in 0..OPS {
+            cache.write((op % 64) * 8, op).unwrap();
+        }
+    });
+    // Silent write hits (value unchanged) are equally allocation-free.
+    // The last writer of slot k stored `OPS - 64 + k`; rewrite exactly that.
+    assert_zero_allocs("silent write hits", || {
+        for op in 0..OPS {
+            cache.write((op % 64) * 8, OPS - 64 + op % 64).unwrap();
+        }
+    });
+}
+
+fn engine_u64_lanes() {
+    let mut bank = TwoDArray::new(TwoDConfig {
+        rows: 256,
+        horizontal: CodeKind::Edc(8),
+        data_bits: 64,
+        interleave: 4,
+        vertical_rows: 32,
+    });
+    for r in 0..256 {
+        for w in 0..4 {
+            bank.write_word(r, w, &Bits::from_u64((r * 4 + w) as u64, 64));
+        }
+    }
+    assert_zero_allocs("engine u64 lanes", || {
+        let mut acc = 0u64;
+        for op in 0..OPS as usize {
+            acc ^= bank.try_read_word_u64(op % 256, op % 4, 0, 64).unwrap();
+            bank.try_write_word_u64((op * 7) % 256, op % 4, 0, acc, 64)
+                .unwrap();
+        }
+        std::hint::black_box(acc);
+    });
+    // Row-granular lanes too.
+    let mut vals = [0u64; 4];
+    assert_zero_allocs("engine row lanes", || {
+        for r in 0..256 {
+            assert!(bank.try_read_row_u64(r, &mut vals));
+            assert!(bank.try_write_row_u64(r, &vals));
+        }
+    });
+}
+
+fn bits_write_word_clean_path() {
+    // The generic `Bits` write path also goes through the scratch-buffer
+    // XOR delta when the stored row is clean.
+    let mut bank = TwoDArray::new(TwoDConfig {
+        rows: 64,
+        horizontal: CodeKind::Edc(8),
+        data_bits: 64,
+        interleave: 4,
+        vertical_rows: 16,
+    });
+    let a = Bits::from_u64(0xAAAA_5555_AAAA_5555, 64);
+    let b = Bits::from_u64(0x5555_AAAA_5555_AAAA, 64);
+    bank.write_word(0, 0, &a);
+    assert_zero_allocs("clean Bits writes", || {
+        for op in 0..OPS {
+            bank.write_word(0, 0, if op % 2 == 0 { &b } else { &a });
+        }
+    });
+}

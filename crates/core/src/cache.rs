@@ -54,6 +54,10 @@ impl CacheConfig {
 
 /// Tag entry width: 48-bit tag + valid + dirty bits.
 const TAG_ENTRY_BITS: usize = 50;
+/// Stack-buffer capacity for line-granular row operations; interleave
+/// degrees beyond this (none of the paper's schemes) fall back to
+/// per-word accesses.
+const MAX_INTERLEAVE: usize = 8;
 /// Words of `data_bits` per line (64B lines).
 const fn words_per_line(data_bits: usize) -> usize {
     LINE_BYTES * 8 / data_bits
@@ -194,15 +198,14 @@ impl ProtectedCache {
     /// protection (data loss is detected, never silent).
     pub fn read(&mut self, addr: u64) -> Result<u64, EngineError> {
         let (set, tag, word_in_line) = self.split(addr);
-        let way = self.lookup(set, tag)?;
-        let way = match way {
-            Some(w) => {
+        let way = match self.lookup(set, tag)? {
+            Some((w, _)) => {
                 self.stats.read_hits += 1;
                 w
             }
             None => {
                 self.stats.read_misses += 1;
-                self.allocate(set, tag)?
+                self.allocate(set, tag, false)?
             }
         };
         self.touch(set, way);
@@ -218,22 +221,28 @@ impl ProtectedCache {
     /// protection.
     pub fn write(&mut self, addr: u64, value: u64) -> Result<(), EngineError> {
         let (set, tag, word_in_line) = self.split(addr);
-        let way = self.lookup(set, tag)?;
-        let way = match way {
-            Some(w) => {
+        match self.lookup(set, tag)? {
+            Some((way, entry)) => {
                 self.stats.write_hits += 1;
-                w
+                self.touch(set, way);
+                self.write_line_word(set, way, word_in_line, value);
+                // Mark dirty — but the lookup already returned the live
+                // tag entry, so a line that is dirty stays as-is and the
+                // protected tag read-modify-write disappears from the
+                // steady-state write-hit path.
+                if !entry.dirty {
+                    self.write_tag(set, way, tag, true, true);
+                }
             }
             None => {
                 self.stats.write_misses += 1;
-                self.allocate(set, tag)?
+                // The allocation writes the tag entry exactly once, with
+                // the dirty bit already set for this write.
+                let way = self.allocate(set, tag, true)?;
+                self.touch(set, way);
+                self.write_line_word(set, way, word_in_line, value);
             }
-        };
-        self.touch(set, way);
-        self.write_line_word(set, way, word_in_line, value);
-        // Mark dirty.
-        let entry = self.read_tag(set, way)?;
-        self.write_tag(set, way, entry.tag, true, true);
+        }
         Ok(())
     }
 
@@ -244,27 +253,48 @@ impl ProtectedCache {
     /// Returns [`EngineError`] if an uncorrectable error defeated the
     /// protection.
     pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EngineError> {
-        for (i, byte) in buf.iter_mut().enumerate() {
+        // Batch at word granularity: each aligned 64-bit word backing the
+        // span is read exactly once, never once per byte.
+        let mut i = 0usize;
+        while i < buf.len() {
             let a = addr + i as u64;
-            let word = self.read(a & !7)?;
-            *byte = word.to_le_bytes()[(a % 8) as usize];
+            let off = (a % 8) as usize;
+            let n = (8 - off).min(buf.len() - i);
+            let word = self.read(a & !7)?.to_le_bytes();
+            buf[i..i + n].copy_from_slice(&word[off..off + n]);
+            i += n;
         }
         Ok(())
     }
 
-    /// Writes `bytes` starting at `addr` (need not be aligned);
-    /// read-modify-write at word granularity.
+    /// Writes `bytes` starting at `addr` (need not be aligned), batched
+    /// at word granularity: a fully covered aligned word is written
+    /// outright (no read), and a partially covered word costs exactly one
+    /// read-modify-write — an 8-byte aligned span is one word op, not
+    /// eight.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError`] if an uncorrectable error defeated the
     /// protection.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), EngineError> {
-        for (i, &byte) in bytes.iter().enumerate() {
+        let mut i = 0usize;
+        while i < bytes.len() {
             let a = addr + i as u64;
-            let mut word = self.read(a & !7)?.to_le_bytes();
-            word[(a % 8) as usize] = byte;
-            self.write(a & !7, u64::from_le_bytes(word))?;
+            let off = (a % 8) as usize;
+            let n = (8 - off).min(bytes.len() - i);
+            let word_addr = a & !7;
+            if n == 8 {
+                // Full word covered: no read-before-merge needed.
+                let mut w = [0u8; 8];
+                w.copy_from_slice(&bytes[i..i + 8]);
+                self.write(word_addr, u64::from_le_bytes(w))?;
+            } else {
+                let mut word = self.read(word_addr)?.to_le_bytes();
+                word[off..off + n].copy_from_slice(&bytes[i..i + n]);
+                self.write(word_addr, u64::from_le_bytes(word))?;
+            }
+            i += n;
         }
         Ok(())
     }
@@ -337,6 +367,11 @@ impl ProtectedCache {
 
     fn read_tag(&mut self, set: usize, way: usize) -> Result<TagEntry, EngineError> {
         let (row, slot) = self.tag_coords(set, way);
+        // u64 fast lane: a clean tag entry (50 bits) moves straight from
+        // the row limbs into a `u64` — no `Bits` temporaries, no decode.
+        if let Some(raw) = self.tags.try_read_word_u64(row, slot, 0, TAG_ENTRY_BITS) {
+            return Ok(TagEntry::from_u64(raw));
+        }
         let out = self.tags.read_word(row, slot)?;
         Ok(TagEntry::from_bits(out.data()))
     }
@@ -344,15 +379,25 @@ impl ProtectedCache {
     fn write_tag(&mut self, set: usize, way: usize, tag: u64, valid: bool, dirty: bool) {
         let (row, slot) = self.tag_coords(set, way);
         let entry = TagEntry { tag, valid, dirty };
+        if self
+            .tags
+            .try_write_word_u64(row, slot, 0, entry.to_u64(), TAG_ENTRY_BITS)
+            .is_some()
+        {
+            return;
+        }
         self.tags
             .write_word(row, slot, &entry.to_bits(self.config.tag_scheme.data_bits));
     }
 
-    fn lookup(&mut self, set: usize, tag: u64) -> Result<Option<usize>, EngineError> {
+    /// Looks up `tag` in `set`, returning the matching way *and* its
+    /// decoded tag entry so callers can skip the redundant protected tag
+    /// re-read (e.g. the dirty-bit read-modify-write on write hits).
+    fn lookup(&mut self, set: usize, tag: u64) -> Result<Option<(usize, TagEntry)>, EngineError> {
         for way in 0..self.config.ways {
             let entry = self.read_tag(set, way)?;
             if entry.valid && entry.tag == tag {
-                return Ok(Some(way));
+                return Ok(Some((way, entry)));
             }
         }
         Ok(None)
@@ -367,8 +412,11 @@ impl ProtectedCache {
     }
 
     /// Allocates a way for (set, tag): evicts LRU (writing back dirty
-    /// data), fills from memory.
-    fn allocate(&mut self, set: usize, tag: u64) -> Result<usize, EngineError> {
+    /// data), fills from memory. The fill writes each stored data row
+    /// once through the line-granular lane (instead of a protected
+    /// read-modify-write per 64-bit word) and the tag entry exactly once,
+    /// with `dirty` pre-set for write allocations.
+    fn allocate(&mut self, set: usize, tag: u64, dirty: bool) -> Result<usize, EngineError> {
         let victim = *self.lru[set].last().expect("nonempty LRU stack");
         let old = self.read_tag(set, victim)?;
         if old.valid && old.dirty {
@@ -380,17 +428,80 @@ impl ProtectedCache {
         // Fill from memory (zeroes if never written).
         let addr = self.line_addr(set, tag);
         let line = *self.memory.entry(addr).or_insert([0u8; LINE_BYTES]);
-        for w in 0..LINE_BYTES / 8 {
-            let mut v = [0u8; 8];
-            v.copy_from_slice(&line[w * 8..(w + 1) * 8]);
-            self.write_line_word(set, victim, w, u64::from_le_bytes(v));
-        }
-        self.write_tag(set, victim, tag, true, false);
+        self.fill_line(set, victim, &line);
+        self.write_tag(set, victim, tag, true, dirty);
         Ok(victim)
     }
 
+    /// Whether the data geometry admits line-at-row granularity: 64-bit
+    /// stored words whose line occupies whole interleaved rows. Returns
+    /// the words-per-row chunk size.
+    fn line_row_chunk(&self, set: usize, way: usize) -> Option<usize> {
+        let il = self.config.data_scheme.interleave;
+        if self.config.data_scheme.data_bits != 64 || il > MAX_INTERLEAVE {
+            return None;
+        }
+        let wpl = LINE_BYTES / 8;
+        let base = (set * self.config.ways + way) * wpl;
+        (wpl.is_multiple_of(il) && base.is_multiple_of(il)).then_some(il)
+    }
+
+    /// Writes a full line into (set, way), one stored row at a time where
+    /// the geometry allows: each covered row costs one read-before-write
+    /// and one vertical-parity update instead of one RMW per word.
+    fn fill_line(&mut self, set: usize, way: usize, line: &[u8; LINE_BYTES]) {
+        let word_at = |w: usize| {
+            let mut v = [0u8; 8];
+            v.copy_from_slice(&line[w * 8..(w + 1) * 8]);
+            u64::from_le_bytes(v)
+        };
+        if let Some(chunk) = self.line_row_chunk(set, way) {
+            let mut vals = [0u64; MAX_INTERLEAVE];
+            let mut w = 0;
+            while w < LINE_BYTES / 8 {
+                let (row, _, _) = self.data_coords(set, way, w);
+                for k in 0..chunk {
+                    vals[k] = word_at(w + k);
+                }
+                if !self.data.try_write_row_u64(row, &vals[..chunk]) {
+                    // Row holds latent damage: per-word writes engage
+                    // correction / recovery as before.
+                    for k in 0..chunk {
+                        self.write_line_word(set, way, w + k, vals[k]);
+                    }
+                }
+                w += chunk;
+            }
+            return;
+        }
+        for w in 0..LINE_BYTES / 8 {
+            self.write_line_word(set, way, w, word_at(w));
+        }
+    }
+
+    /// Reads a full line from (set, way), one stored row at a time where
+    /// the geometry allows (writeback path).
     fn collect_line(&mut self, set: usize, way: usize) -> Result<[u8; LINE_BYTES], EngineError> {
         let mut line = [0u8; LINE_BYTES];
+        if let Some(chunk) = self.line_row_chunk(set, way) {
+            let mut vals = [0u64; MAX_INTERLEAVE];
+            let mut w = 0;
+            while w < LINE_BYTES / 8 {
+                let (row, _, _) = self.data_coords(set, way, w);
+                if self.data.try_read_row_u64(row, &mut vals[..chunk]) {
+                    for k in 0..chunk {
+                        line[(w + k) * 8..(w + k + 1) * 8].copy_from_slice(&vals[k].to_le_bytes());
+                    }
+                } else {
+                    for k in 0..chunk {
+                        let v = self.read_line_word(set, way, w + k)?;
+                        line[(w + k) * 8..(w + k + 1) * 8].copy_from_slice(&v.to_le_bytes());
+                    }
+                }
+                w += chunk;
+            }
+            return Ok(line);
+        }
         for w in 0..LINE_BYTES / 8 {
             let v = self.read_line_word(set, way, w)?;
             line[w * 8..(w + 1) * 8].copy_from_slice(&v.to_le_bytes());
@@ -405,12 +516,26 @@ impl ProtectedCache {
         word64: usize,
     ) -> Result<u64, EngineError> {
         let (row, slot, sub) = self.data_coords(set, way, word64);
+        // u64 fast lane: a clean 64-bit window moves straight from the
+        // row limbs to the caller with zero heap allocations.
+        if let Some(v) = self.data.try_read_word_u64(row, slot, sub, 64) {
+            return Ok(v);
+        }
         let stored = self.data.read_word(row, slot)?;
         Ok(stored.data().slice(sub, 64).to_u64())
     }
 
     fn write_line_word(&mut self, set: usize, way: usize, word64: usize, value: u64) {
         let (row, slot, sub) = self.data_coords(set, way, word64);
+        // u64 fast lane: clean stored word, XOR-delta update in place
+        // (and silent-write suppression), zero heap allocations.
+        if self
+            .data
+            .try_write_word_u64(row, slot, sub, value, 64)
+            .is_some()
+        {
+            return;
+        }
         let bits = self.config.data_scheme.data_bits;
         // Read-modify-write of the stored (possibly wider) word.
         let mut stored = match self.data.read_word(row, slot) {
@@ -451,6 +576,22 @@ impl TagEntry {
             valid: bits.get(48),
             dirty: bits.get(49),
         }
+    }
+
+    /// Decodes the packed 50-bit form used by the u64 tag fast lane.
+    fn from_u64(raw: u64) -> Self {
+        TagEntry {
+            tag: raw & ((1u64 << 48) - 1),
+            valid: (raw >> 48) & 1 == 1,
+            dirty: (raw >> 49) & 1 == 1,
+        }
+    }
+
+    /// Packs the entry into the 50-bit form used by the u64 tag fast lane.
+    fn to_u64(self) -> u64 {
+        (self.tag & ((1u64 << 48) - 1))
+            | (u64::from(self.valid) << 48)
+            | (u64::from(self.dirty) << 49)
     }
 
     fn to_bits(self, width: usize) -> Bits {
@@ -576,6 +717,57 @@ mod tests {
     #[test]
     fn capacity() {
         assert_eq!(CacheConfig::l1_64kb().capacity(), 64 * 1024);
+    }
+
+    #[test]
+    fn line_fill_writes_rows_not_words() {
+        let mut c = small_cache();
+        assert_eq!(c.read(0x1000).unwrap(), 0); // miss -> allocate fills the line
+        let stats = c.data_engine_stats();
+        // Eight 64-bit word writes served by two row-granular writes
+        // (4-way interleave): one read-before-write per stored row, not
+        // one per word.
+        assert_eq!(stats.writes, 8);
+        assert_eq!(stats.extra_reads, 2);
+        assert_eq!(stats.reads, 1);
+    }
+
+    #[test]
+    fn silent_store_suppressed() {
+        let mut c = small_cache();
+        c.write(0x80, 42).unwrap();
+        let before = c.data_engine_stats().silent_writes;
+        c.write(0x80, 42).unwrap(); // same value: all coding work skipped
+        let after = c.data_engine_stats();
+        assert_eq!(after.silent_writes, before + 1);
+        assert_eq!(c.read(0x80).unwrap(), 42);
+        // The dirty bit was already set, so the write-hit also skipped
+        // the protected tag read-modify-write.
+        assert!(c.audit());
+    }
+
+    #[test]
+    fn aligned_byte_span_costs_one_word_op() {
+        let mut c = small_cache();
+        // Warm the line so the accesses below are pure hits.
+        c.write(0x100, 0).unwrap();
+        let before = c.data_engine_stats();
+        c.write_bytes(0x100, &[7u8; 8]).unwrap();
+        let after_write = c.data_engine_stats();
+        assert_eq!(
+            after_write.writes - before.writes,
+            1,
+            "aligned 8-byte span must be one word write"
+        );
+        assert_eq!(after_write.reads, before.reads, "no read-before-merge");
+        let mut buf = [0u8; 8];
+        c.read_bytes(0x100, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 8]);
+        assert_eq!(
+            c.data_engine_stats().reads - after_write.reads,
+            1,
+            "aligned 8-byte read must be one word read"
+        );
     }
 
     #[test]

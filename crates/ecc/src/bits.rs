@@ -211,6 +211,22 @@ impl Bits {
         self.mask_tail();
     }
 
+    /// Overwrites limb `i` (little-endian) in place; bits beyond `len`
+    /// in the final limb are masked off automatically. The write-side
+    /// primitive behind limb-at-a-time extraction into reusable buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the limb count.
+    #[inline]
+    pub fn set_limb(&mut self, i: usize, value: u64) {
+        assert!(i < self.limbs.len(), "limb index {i} out of range");
+        self.limbs[i] = value;
+        if i + 1 == self.limbs.len() {
+            self.mask_tail();
+        }
+    }
+
     /// Parity of `self & mask` without allocating: `true` when an odd
     /// number of bits are set in the intersection. This is the hot
     /// primitive behind matrix-row syndrome checks.
@@ -615,6 +631,15 @@ mod tests {
         assert!(a.masked_parity(&m)); // 3-way intersection -> odd
         assert!(a.intersects(&m));
         assert!(!a.intersects(&Bits::from_positions(130, &[3, 70])));
+    }
+
+    #[test]
+    fn set_limb_masks_tail() {
+        let mut b = Bits::zeros(70);
+        b.set_limb(0, !0);
+        b.set_limb(1, !0);
+        assert_eq!(b.count_ones(), 70, "tail bits masked");
+        assert_eq!(b.as_limbs()[1], (1u64 << 6) - 1);
     }
 
     #[test]

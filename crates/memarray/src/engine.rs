@@ -37,6 +37,39 @@ impl ReadOutcome {
             }
         }
     }
+
+    /// How the word was obtained, without the data payload.
+    pub fn kind(&self) -> ReadKind {
+        match self {
+            ReadOutcome::Clean(_) => ReadKind::Clean,
+            ReadOutcome::CorrectedInline(_) => ReadKind::CorrectedInline,
+            ReadOutcome::Recovered(_) => ReadKind::Recovered,
+        }
+    }
+}
+
+/// Payload-free version of [`ReadOutcome`], returned by the
+/// scratch-buffer read variants where the data lands in a caller-owned
+/// buffer instead of a freshly allocated [`Bits`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadKind {
+    /// The word was clean.
+    Clean,
+    /// The horizontal code corrected the word in-line (SECDED mode).
+    CorrectedInline,
+    /// A 2D recovery ran and the word is now readable.
+    Recovered,
+}
+
+/// Outcome of a write served by the u64 fast lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteKind {
+    /// The row was updated (XOR delta applied to cells and parity).
+    Stored,
+    /// The stored word already equalled the new data: the row write and
+    /// the vertical-parity update were suppressed (a *silent write*,
+    /// after Kishani et al.).
+    Silent,
 }
 
 /// Why a read or recovery failed.
@@ -124,6 +157,12 @@ pub struct TwoDArray {
     vparity: VerticalParity,
     faults: FaultMap,
     stats: EngineStats,
+    /// Reusable row-width scratch holding the current (overlaid) row
+    /// content on the hot paths, so clean reads and writes never allocate.
+    scratch_row: Bits,
+    /// Second reusable row-width scratch: the XOR delta of a write (or
+    /// the fully rebuilt row for line-granular writes).
+    scratch_aux: Bits,
     /// When true, recovery remaps cells whose repair does not stick
     /// (stuck-at hard faults) to spares, mirroring BISR hardware.
     bisr_remap: bool,
@@ -166,12 +205,15 @@ impl TwoDArray {
     pub fn from_scheme(scheme: Arc<BankScheme>) -> Self {
         let grid = BitGrid::new(scheme.rows(), scheme.cols());
         let vparity = VerticalParity::new(scheme.vertical_rows(), scheme.cols());
+        let cols = scheme.cols();
         TwoDArray {
             scheme,
             grid,
             vparity,
             faults: FaultMap::new(),
             stats: EngineStats::default(),
+            scratch_row: Bits::zeros(cols),
+            scratch_aux: Bits::zeros(cols),
             bisr_remap: true,
             max_iterations: 4,
         }
@@ -273,6 +315,14 @@ impl TwoDArray {
     /// horizontal check, recovery runs first so the parity update stays
     /// consistent.
     ///
+    /// On the common path — the stored row checks clean — this performs
+    /// zero heap allocations: the old row lands in a reusable scratch
+    /// buffer, the update is computed as an XOR delta over the word's
+    /// columns (applied to the cells via [`BitGrid::xor_row`] and to the
+    /// parity via [`VerticalParity::update_delta`]), and a write whose
+    /// data equals the stored word is suppressed entirely (a *silent
+    /// write*; see [`EngineStats::silent_writes`]).
+    ///
     /// # Panics
     ///
     /// Panics if `row`/`word` are out of range or `data` has the wrong
@@ -280,33 +330,34 @@ impl TwoDArray {
     pub fn write_word(&mut self, row: usize, word: usize, data: &Bits) {
         assert!(row < self.rows(), "row {row} out of range");
         assert!(word < self.words_per_row(), "word {word} out of range");
+        assert_eq!(data.len(), self.layout().data_bits(), "data width mismatch");
         // Read-before-write: fetch the old row for the vertical update.
         // The stored vertical parity always reflects the *intended* data,
         // so the old value fed into the update must be the intended old
         // word: latent errors are corrected (inline or via recovery)
         // before the incremental update.
         self.stats.extra_reads += 1;
-        let mut old_row = self.read_row_raw(row);
-        // Clean-row fast path: when the old word's stored check already
-        // matches its data (the overwhelmingly common case), skip the
-        // decode and keep the stored check bits for the vertical delta —
-        // no extraction and no re-encode of the old word.
-        if !self.word_clean(&old_row, word) {
-            let old_data = self.layout().extract_data(&old_row, word);
-            let old_check = self.layout().extract_check(&old_row, word);
-            match self.hcode().decode(&old_data, &old_check) {
-                Decoded::Corrected { data: fixed, .. } if self.scheme.inline_correct() => {
-                    // Use the corrected old word for the parity delta.
-                    let fixed_check = self.hcode().encode(&fixed);
-                    self.layout()
-                        .place_word(&mut old_row, word, &fixed, &fixed_check);
-                }
-                Decoded::Clean => {}
-                _ => {
-                    // Latent multi-bit damage: repair first, then re-read.
-                    let _ = self.recover();
-                    old_row = self.read_row_raw(row);
-                }
+        self.load_scratch_row(row);
+        if self.scheme.word_clean(&self.scratch_row, word) {
+            self.commit_clean_write(row, word, data);
+            return;
+        }
+        // Latent-error path (cold; allocations acceptable here).
+        let mut old_row = self.scratch_row.clone();
+        let old_data = self.layout().extract_data(&old_row, word);
+        let old_check = self.layout().extract_check(&old_row, word);
+        match self.hcode().decode(&old_data, &old_check) {
+            Decoded::Corrected { data: fixed, .. } if self.scheme.inline_correct() => {
+                // Use the corrected old word for the parity delta.
+                let fixed_check = self.hcode().encode(&fixed);
+                self.layout()
+                    .place_word(&mut old_row, word, &fixed, &fixed_check);
+            }
+            Decoded::Clean => {}
+            _ => {
+                // Latent multi-bit damage: repair first, then re-read.
+                let _ = self.recover();
+                old_row = self.read_row_raw(row);
             }
         }
         let mut new_row = old_row.clone();
@@ -315,6 +366,74 @@ impl TwoDArray {
         self.vparity.update(row, &old_row, &new_row);
         self.write_row_raw(row, &new_row);
         self.stats.writes += 1;
+    }
+
+    /// Loads the overlaid content of `row` into the reusable scratch row
+    /// (no allocation).
+    #[inline]
+    fn load_scratch_row(&mut self, row: usize) {
+        self.grid.row_into(row, &mut self.scratch_row);
+        self.faults.overlay_row(row, &mut self.scratch_row);
+    }
+
+    /// Clean-path write commit: builds the XOR delta between the stored
+    /// word (already verified clean, sitting in `scratch_row`) and the new
+    /// codeword in `scratch_aux`, then applies it to the cells and the
+    /// stripe parity. Performs no heap allocation unless the code stores
+    /// more than 64 check bits (then one re-encode allocates).
+    fn commit_clean_write(&mut self, row: usize, word: usize, data: &Bits) {
+        let layout = self.layout();
+        let il = layout.interleave();
+        self.stats.writes += 1;
+        self.scratch_aux.clear();
+        let mut changed = false;
+        if self.scheme.fast_u64() {
+            // Windowed u64 delta: compare and place 64 data bits per
+            // strided gather/scatter, folding the check delta from the
+            // precomputed per-bit masks (exact by code linearity).
+            let mut delta_check = 0u64;
+            for (i, &dlimb) in data.as_limbs().iter().enumerate() {
+                let off = i * 64;
+                let count = 64.min(layout.data_bits() - off);
+                let old = layout.extract_data_u64(&self.scratch_row, word, off, count);
+                let delta = old ^ dlimb;
+                if delta != 0 {
+                    changed = true;
+                    delta_check ^= self.scheme.encode_u64(off, delta, count);
+                    layout.place_data_u64(&mut self.scratch_aux, word, off, delta, count);
+                }
+            }
+            if changed {
+                layout.place_check_u64(&mut self.scratch_aux, word, delta_check);
+            }
+        } else {
+            // Wide-check codes: per-bit delta, one re-encode allocation.
+            for b in 0..layout.data_bits() {
+                let col = b * il + word;
+                if self.scratch_row.get(col) != data.get(b) {
+                    changed = true;
+                    self.scratch_aux.set(col, true);
+                }
+            }
+            if changed {
+                let new_check = self.hcode().encode(data);
+                for c in 0..layout.check_bits() {
+                    let col = layout.check_col(word, c);
+                    if self.scratch_row.get(col) != new_check.get(c) {
+                        self.scratch_aux.set(col, true);
+                    }
+                }
+            }
+        }
+        if !changed {
+            // Silent write: the word is clean, so equal data implies an
+            // equal stored check word too — nothing in the row changes
+            // and the parity update is skipped wholesale.
+            self.stats.silent_writes += 1;
+            return;
+        }
+        self.vparity.update_delta(row, &self.scratch_aux);
+        self.grid.xor_row(row, &self.scratch_aux);
     }
 
     /// Reads a data word. Clean and inline-corrected reads return
@@ -333,15 +452,17 @@ impl TwoDArray {
         assert!(row < self.rows(), "row {row} out of range");
         assert!(word < self.words_per_row(), "word {word} out of range");
         self.stats.reads += 1;
-        let row_bits = self.read_row_raw(row);
         // Clean fast path: verify the word's check equations at limb
-        // granularity, then extract only the data bits — no check
-        // extraction, no decode machinery.
-        if self.word_clean(&row_bits, word) {
+        // granularity against the scratch row, then extract only the data
+        // bits — no check extraction, no decode machinery, and the single
+        // allocation is the returned data word itself.
+        self.load_scratch_row(row);
+        if self.scheme.word_clean(&self.scratch_row, word) {
             return Ok(ReadOutcome::Clean(
-                self.layout().extract_data(&row_bits, word),
+                self.layout().extract_data(&self.scratch_row, word),
             ));
         }
+        let row_bits = self.scratch_row.clone();
         let data = self.layout().extract_data(&row_bits, word);
         let check = self.layout().extract_check(&row_bits, word);
         match self.hcode().decode(&data, &check) {
@@ -373,6 +494,210 @@ impl TwoDArray {
                 }
             }
         }
+    }
+
+    /// Scratch-buffer read: like [`TwoDArray::read_word`] but the data
+    /// lands in a caller-owned buffer, so the clean path performs zero
+    /// heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Uncorrectable`] when recovery cannot restore
+    /// the word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`word` are out of range or `out.len()` differs from
+    /// the layout's data width.
+    pub fn read_word_into(
+        &mut self,
+        row: usize,
+        word: usize,
+        out: &mut Bits,
+    ) -> Result<ReadKind, EngineError> {
+        assert!(row < self.rows(), "row {row} out of range");
+        assert!(word < self.words_per_row(), "word {word} out of range");
+        self.load_scratch_row(row);
+        if self.scheme.word_clean(&self.scratch_row, word) {
+            self.stats.reads += 1;
+            self.layout()
+                .extract_data_into(&self.scratch_row, word, out);
+            return Ok(ReadKind::Clean);
+        }
+        // Dirty path: delegate to the allocating read (it counts the
+        // read, runs inline correction / recovery) and copy the result.
+        let outcome = self.read_word(row, word)?;
+        out.copy_from(outcome.data());
+        Ok(outcome.kind())
+    }
+
+    /// u64 read fast lane: returns `width` data bits of word `word`
+    /// starting at `bit_offset`, straight from the row limbs, when the
+    /// word is clean. Zero heap allocations. Returns `None` when the word
+    /// fails its horizontal check — the caller must fall back to
+    /// [`TwoDArray::read_word`], which runs inline correction or 2D
+    /// recovery (the failed attempt counts nothing in the stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`word` are out of range or the bit window falls
+    /// outside the word's data bits.
+    pub fn try_read_word_u64(
+        &mut self,
+        row: usize,
+        word: usize,
+        bit_offset: usize,
+        width: usize,
+    ) -> Option<u64> {
+        assert!(row < self.rows(), "row {row} out of range");
+        assert!(word < self.words_per_row(), "word {word} out of range");
+        self.load_scratch_row(row);
+        if !self.scheme.word_clean(&self.scratch_row, word) {
+            return None;
+        }
+        self.stats.reads += 1;
+        Some(
+            self.layout()
+                .extract_data_u64(&self.scratch_row, word, bit_offset, width),
+        )
+    }
+
+    /// u64 write fast lane: overwrites `width` data bits of word `word`
+    /// at `bit_offset` when the stored word is clean, with zero heap
+    /// allocations. The update is an XOR delta built in a scratch row
+    /// from the data difference and its re-encoded check difference
+    /// (exact by code linearity), applied to the cells and the stripe
+    /// parity in one pass; a write that changes nothing is suppressed as
+    /// a silent write. Returns `None` — with nothing counted or written —
+    /// when the stored word fails its check or the code stores more than
+    /// 64 check bits; the caller must then fall back to the
+    /// read-modify-write path over [`TwoDArray::read_word`] /
+    /// [`TwoDArray::write_word`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`word` are out of range or the bit window falls
+    /// outside the word's data bits.
+    pub fn try_write_word_u64(
+        &mut self,
+        row: usize,
+        word: usize,
+        bit_offset: usize,
+        value: u64,
+        width: usize,
+    ) -> Option<WriteKind> {
+        assert!(row < self.rows(), "row {row} out of range");
+        assert!(word < self.words_per_row(), "word {word} out of range");
+        if !self.scheme.fast_u64() {
+            return None;
+        }
+        self.load_scratch_row(row);
+        if !self.scheme.word_clean(&self.scratch_row, word) {
+            return None;
+        }
+        let layout = self.layout();
+        self.stats.extra_reads += 1;
+        self.stats.writes += 1;
+        let old = layout.extract_data_u64(&self.scratch_row, word, bit_offset, width);
+        let value = value & crate::layout::low_mask(width);
+        if old == value {
+            self.stats.silent_writes += 1;
+            return Some(WriteKind::Silent);
+        }
+        let delta = old ^ value;
+        let delta_check = self.scheme.encode_u64(bit_offset, delta, width);
+        self.scratch_aux.clear();
+        layout.place_word_u64(
+            &mut self.scratch_aux,
+            word,
+            bit_offset,
+            delta,
+            width,
+            delta_check,
+        );
+        self.vparity.update_delta(row, &self.scratch_aux);
+        self.grid.xor_row(row, &self.scratch_aux);
+        Some(WriteKind::Stored)
+    }
+
+    /// Line-granular read fast lane: extracts every word of `row` into
+    /// `out` in one pass over a single row fetch, when the whole row is
+    /// clean and words are at most 64 data bits wide. Zero heap
+    /// allocations. Returns `false` (counting nothing) when any word
+    /// fails its check or the geometry is ineligible; the caller falls
+    /// back to per-word reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `out.len()` differs from the
+    /// words-per-row interleave degree.
+    pub fn try_read_row_u64(&mut self, row: usize, out: &mut [u64]) -> bool {
+        assert!(row < self.rows(), "row {row} out of range");
+        let layout = self.layout();
+        assert_eq!(out.len(), layout.interleave(), "word count mismatch");
+        if layout.data_bits() > 64 {
+            return false;
+        }
+        self.load_scratch_row(row);
+        for w in 0..layout.interleave() {
+            if !self.scheme.word_clean(&self.scratch_row, w) {
+                return false;
+            }
+        }
+        self.stats.reads += layout.interleave() as u64;
+        for (w, slot) in out.iter_mut().enumerate() {
+            *slot = self
+                .layout()
+                .extract_data_u64(&self.scratch_row, w, 0, layout.data_bits());
+        }
+        true
+    }
+
+    /// Line-granular write fast lane: overwrites every word of `row` in
+    /// one pass — one read-before-write row fetch, one rebuilt row, one
+    /// vertical-parity update — instead of a read-modify-write per word.
+    /// Zero heap allocations. A row rebuilt identical to the stored one
+    /// is suppressed entirely (all its word writes count as silent).
+    /// Returns `false` (counting and writing nothing) when any stored
+    /// word fails its check or the geometry is ineligible (words wider
+    /// than 64 data bits, or more than 64 check bits); the caller falls
+    /// back to per-word writes, which engage recovery as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `values.len()` differs from the
+    /// words-per-row interleave degree.
+    pub fn try_write_row_u64(&mut self, row: usize, values: &[u64]) -> bool {
+        assert!(row < self.rows(), "row {row} out of range");
+        let layout = self.layout();
+        assert_eq!(values.len(), layout.interleave(), "word count mismatch");
+        let data_bits = layout.data_bits();
+        if data_bits > 64 || !self.scheme.fast_u64() {
+            return false;
+        }
+        self.load_scratch_row(row);
+        for w in 0..layout.interleave() {
+            if !self.scheme.word_clean(&self.scratch_row, w) {
+                return false;
+            }
+        }
+        // Build the complete new row in the aux scratch.
+        self.scratch_aux.clear();
+        for (w, &value) in values.iter().enumerate() {
+            let value = value & crate::layout::low_mask(data_bits);
+            let check = self.scheme.encode_u64(0, value, data_bits);
+            layout.place_word_u64(&mut self.scratch_aux, w, 0, value, data_bits, check);
+        }
+        self.stats.extra_reads += 1;
+        self.stats.writes += layout.interleave() as u64;
+        if self.scratch_aux == self.scratch_row {
+            self.stats.silent_writes += layout.interleave() as u64;
+            return true;
+        }
+        self.vparity
+            .update(row, &self.scratch_row, &self.scratch_aux);
+        self.grid.set_row(row, &self.scratch_aux);
+        true
     }
 
     /// Injects a transient error of the given shape. Returns the affected
@@ -1071,6 +1396,112 @@ mod tests {
         bank.write_word(3, 0, &word);
         assert_eq!(bank.read_word(3, 0).unwrap().into_data(), word);
         assert!(bank.audit());
+    }
+
+    #[test]
+    fn silent_writes_suppressed_and_counted() {
+        // Kishani et al.: a write whose data equals the stored word can
+        // skip all coding work. The read-before-write detects it for free.
+        let mut bank = paper_bank();
+        let word = Bits::from_u64(0xFEED_F00D, 64);
+        bank.write_word(9, 2, &word);
+        let grid_before = bank.grid.clone();
+        let vparity_before = bank.vparity.clone();
+        bank.write_word(9, 2, &word); // silent: nothing may change
+        assert_eq!(bank.stats().silent_writes, 1);
+        assert_eq!(bank.grid, grid_before, "row write suppressed");
+        assert_eq!(bank.vparity, vparity_before, "parity update suppressed");
+        // The write still counts as a write (and its read-before-write).
+        assert_eq!(bank.stats().writes, 2);
+        assert_eq!(bank.stats().extra_reads, 2);
+        // The u64 lane detects silence the same way.
+        assert_eq!(
+            bank.try_write_word_u64(9, 2, 0, 0xFEED_F00D, 64),
+            Some(WriteKind::Silent)
+        );
+        assert_eq!(bank.stats().silent_writes, 2);
+        assert!(bank.audit());
+    }
+
+    #[test]
+    fn u64_lanes_roundtrip_and_fall_back() {
+        let mut bank = paper_bank();
+        let words = fill(&mut bank, 21);
+        // Clean reads through the lane match the Bits path.
+        for r in (0..256).step_by(17) {
+            for w in 0..4 {
+                assert_eq!(
+                    bank.try_read_word_u64(r, w, 0, 64),
+                    Some(words[r][w].to_u64()),
+                    "row {r} word {w}"
+                );
+            }
+        }
+        // Sub-word write through the lane, then full-word readback.
+        assert_eq!(
+            bank.try_write_word_u64(30, 1, 16, 0xABCD, 16),
+            Some(WriteKind::Stored)
+        );
+        let mut expect = words[30][1].clone();
+        expect.write_slice(16, &Bits::from_u64(0xABCD, 16));
+        assert_eq!(bank.read_word(30, 1).unwrap().into_data(), expect);
+        assert!(bank.audit(), "delta write keeps check bits and parity");
+        // A dirty word refuses the lane and leaves no trace in the stats.
+        bank.inject(ErrorShape::Single { row: 40, col: 2 });
+        let (w, _) = bank.layout().col_to_word_bit(2);
+        let stats_before = bank.stats();
+        assert_eq!(bank.try_read_word_u64(40, w, 0, 64), None);
+        assert_eq!(bank.try_write_word_u64(40, w, 0, 1, 64), None);
+        assert_eq!(bank.stats(), stats_before);
+        // The Bits fallback then recovers and serves the access.
+        assert_eq!(bank.read_word(40, w).unwrap().into_data(), words[40][w]);
+    }
+
+    #[test]
+    fn row_lanes_write_once_and_read_back() {
+        let mut bank = paper_bank();
+        let _ = fill(&mut bank, 22);
+        let values = [0x1111u64, 0x2222, 0x3333, 0x4444];
+        let stats_before = bank.stats();
+        assert!(bank.try_write_row_u64(77, &values));
+        let after = bank.stats();
+        assert_eq!(after.extra_reads, stats_before.extra_reads + 1);
+        assert_eq!(after.writes, stats_before.writes + 4);
+        let mut out = [0u64; 4];
+        assert!(bank.try_read_row_u64(77, &mut out));
+        assert_eq!(out, values);
+        assert!(bank.audit());
+        // Rewriting the identical row is silent for all four words.
+        assert!(bank.try_write_row_u64(77, &values));
+        assert_eq!(bank.stats().silent_writes, 4);
+        // A dirty row refuses both lanes.
+        bank.inject(ErrorShape::Single { row: 77, col: 0 });
+        assert!(!bank.try_read_row_u64(77, &mut out));
+        assert!(!bank.try_write_row_u64(77, &values));
+    }
+
+    #[test]
+    fn read_word_into_matches_read_word() {
+        let mut bank = paper_bank();
+        let words = fill(&mut bank, 23);
+        let mut buf = Bits::zeros(64);
+        assert_eq!(
+            bank.read_word_into(3, 1, &mut buf).unwrap(),
+            ReadKind::Clean
+        );
+        assert_eq!(buf, words[3][1]);
+        // Dirty word: the scratch variant reports the recovery kind.
+        bank.inject(ErrorShape::Cluster {
+            row: 3,
+            col: 0,
+            height: 1,
+            width: 8,
+        });
+        assert_eq!(
+            bank.read_word_into(3, 1, &mut buf).unwrap(),
+            ReadKind::Recovered
+        );
+        assert_eq!(buf, words[3][1]);
     }
 
     #[test]

@@ -8,6 +8,157 @@
 
 use ecc::Bits;
 
+/// Low `n` bits set (`n <= 64`).
+#[inline]
+pub(crate) const fn low_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Packs the bits of `x` at positions `0, 2, 4, ...` down to `0..32`
+/// (Morton-style compress).
+#[inline]
+fn gather2(mut x: u64) -> u64 {
+    x &= 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x
+}
+
+/// Packs the bits of `x` at positions `0, 4, 8, ...` down to `0..16`.
+#[inline]
+fn gather4(mut x: u64) -> u64 {
+    x &= 0x1111_1111_1111_1111;
+    x = (x | (x >> 3)) & 0x0303_0303_0303_0303;
+    x = (x | (x >> 6)) & 0x000F_000F_000F_000F;
+    x = (x | (x >> 12)) & 0x0000_00FF_0000_00FF;
+    x = (x | (x >> 24)) & 0x0000_0000_0000_FFFF;
+    x
+}
+
+/// Packs the bits of `x` at positions `0, 8, 16, ...` down to `0..8`.
+#[inline]
+fn gather8(mut x: u64) -> u64 {
+    x &= 0x0101_0101_0101_0101;
+    x = (x | (x >> 7)) & 0x0003_0003_0003_0003;
+    x = (x | (x >> 14)) & 0x0000_000F_0000_000F;
+    x = (x | (x >> 28)) & 0x0000_0000_0000_00FF;
+    x
+}
+
+/// Spreads the low 32 bits of `x` to positions `0, 2, 4, ...` (inverse of
+/// [`gather2`]).
+#[inline]
+fn scatter2(mut x: u64) -> u64 {
+    x &= 0x0000_0000_FFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Spreads the low 16 bits of `x` to positions `0, 4, 8, ...`.
+#[inline]
+fn scatter4(mut x: u64) -> u64 {
+    x &= 0x0000_0000_0000_FFFF;
+    x = (x | (x << 24)) & 0x0000_00FF_0000_00FF;
+    x = (x | (x << 12)) & 0x000F_000F_000F_000F;
+    x = (x | (x << 6)) & 0x0303_0303_0303_0303;
+    x = (x | (x << 3)) & 0x1111_1111_1111_1111;
+    x
+}
+
+/// Spreads the low 8 bits of `x` to positions `0, 8, 16, ...`.
+#[inline]
+fn scatter8(mut x: u64) -> u64 {
+    x &= 0x0000_0000_0000_00FF;
+    x = (x | (x << 28)) & 0x0000_000F_0000_000F;
+    x = (x | (x << 14)) & 0x0003_0003_0003_0003;
+    x = (x | (x << 7)) & 0x0101_0101_0101_0101;
+    x
+}
+
+/// Whether `stride` has a limb-level gather/scatter kernel. Strides that
+/// don't (non-powers of two, or beyond 8) take the per-bit loops.
+#[inline]
+fn fast_stride(stride: usize) -> bool {
+    matches!(stride, 1 | 2 | 4 | 8)
+}
+
+#[inline]
+fn gather(x: u64, stride: usize) -> u64 {
+    match stride {
+        1 => x,
+        2 => gather2(x),
+        4 => gather4(x),
+        _ => gather8(x),
+    }
+}
+
+#[inline]
+fn scatter(x: u64, stride: usize) -> u64 {
+    match stride {
+        1 => x,
+        2 => scatter2(x),
+        4 => scatter4(x),
+        _ => scatter8(x),
+    }
+}
+
+/// Gathers `count` bits (`count <= 64`) spaced `stride` columns apart
+/// starting at `start_col`, limb-at-a-time: each source limb contributes
+/// `64 / stride` word bits through one compress kernel instead of a
+/// per-bit loop. `stride` must satisfy [`fast_stride`] and divide 64.
+#[inline]
+fn gather_span(limbs: &[u64], start_col: usize, stride: usize, count: usize) -> u64 {
+    let phase = start_col % stride;
+    let bpl = 64 / stride;
+    let mut b = start_col / 64;
+    let mut skip = (start_col % 64) / stride;
+    let mut out = 0u64;
+    let mut produced = 0usize;
+    while produced < count {
+        let chunk = gather(limbs[b] >> phase, stride) >> skip;
+        out |= chunk << produced;
+        produced += bpl - skip;
+        skip = 0;
+        b += 1;
+    }
+    out & low_mask(count)
+}
+
+/// Scatters the low `count` bits of `value` to columns `start_col,
+/// start_col + stride, ...`, limb-at-a-time (inverse of
+/// [`gather_span`]); other columns keep their contents.
+#[inline]
+fn scatter_span(row: &mut Bits, start_col: usize, stride: usize, count: usize, value: u64) {
+    let phase = start_col % stride;
+    let bpl = 64 / stride;
+    let mut b = start_col / 64;
+    let mut skip = (start_col % 64) / stride;
+    let value = value & low_mask(count);
+    let mut consumed = 0usize;
+    while consumed < count {
+        let take = (bpl - skip).min(count - consumed);
+        let chunk = (value >> consumed) & low_mask(take);
+        let spread = scatter(chunk << skip, stride) << phase;
+        let col_mask = scatter(low_mask(take) << skip, stride) << phase;
+        let cur = row.as_limbs()[b];
+        row.set_limb(b, (cur & !col_mask) | spread);
+        consumed += take;
+        skip = 0;
+        b += 1;
+    }
+}
+
 /// Mapping between logical codewords and the physical columns of a row.
 ///
 /// A row holds `interleave` codewords of `data_bits + check_bits` bits
@@ -117,14 +268,203 @@ impl RowLayout {
     ///
     /// Panics if the row width mismatches or `word` is out of range.
     pub fn extract_data(&self, row: &Bits, word: usize) -> Bits {
-        assert_eq!(row.len(), self.row_cols(), "row width mismatch");
         let mut out = Bits::zeros(self.data_bits);
+        self.extract_data_into(row, word, &mut out);
+        out
+    }
+
+    /// Extracts the data word `word` from a physical row into an existing
+    /// buffer — the scratch-buffer variant of [`RowLayout::extract_data`]
+    /// that never touches the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width mismatches, `word` is out of range, or
+    /// `out.len() != data_bits`.
+    pub fn extract_data_into(&self, row: &Bits, word: usize, out: &mut Bits) {
+        assert_eq!(row.len(), self.row_cols(), "row width mismatch");
+        assert_eq!(out.len(), self.data_bits, "data width mismatch");
+        assert!(word < self.interleave, "word {word} out of range");
+        let limbs = row.as_limbs();
+        if fast_stride(self.interleave) {
+            // Limb-at-a-time: each 64-bit window of the data word is one
+            // strided gather.
+            let mut off = 0;
+            let mut i = 0;
+            while off < self.data_bits {
+                let count = 64.min(self.data_bits - off);
+                out.set_limb(
+                    i,
+                    gather_span(limbs, off * self.interleave + word, self.interleave, count),
+                );
+                off += count;
+                i += 1;
+            }
+            return;
+        }
+        out.clear();
         for bit in 0..self.data_bits {
-            if row.get(self.data_col(word, bit)) {
+            let col = bit * self.interleave + word;
+            if (limbs[col / 64] >> (col % 64)) & 1 == 1 {
                 out.set(bit, true);
             }
         }
+    }
+
+    /// Extracts up to 64 contiguous data bits (`bit_offset..bit_offset +
+    /// width`) of word `word` straight from the row limbs into a `u64`,
+    /// with no intermediate [`Bits`]. This is the read half of the u64
+    /// fast lane: a 64-bit cache word moves between the interleaved row
+    /// and the caller in one strided gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width mismatches or the bit range falls outside
+    /// the word's data bits (`width` must be `1..=64`).
+    pub fn extract_data_u64(
+        &self,
+        row: &Bits,
+        word: usize,
+        bit_offset: usize,
+        width: usize,
+    ) -> u64 {
+        assert_eq!(row.len(), self.row_cols(), "row width mismatch");
+        assert!(word < self.interleave, "word {word} out of range");
+        assert!(
+            (1..=64).contains(&width) && bit_offset + width <= self.data_bits,
+            "u64 window {bit_offset}+{width} outside {} data bits",
+            self.data_bits
+        );
+        let limbs = row.as_limbs();
+        if fast_stride(self.interleave) {
+            return gather_span(
+                limbs,
+                bit_offset * self.interleave + word,
+                self.interleave,
+                width,
+            );
+        }
+        let mut out = 0u64;
+        let mut col = bit_offset * self.interleave + word;
+        for bit in 0..width {
+            out |= ((limbs[col / 64] >> (col % 64)) & 1) << bit;
+            col += self.interleave;
+        }
         out
+    }
+
+    /// Extracts the check word of `word` straight from the row limbs into
+    /// a `u64` (valid for codes with at most 64 check bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width mismatches, `word` is out of range, or the
+    /// code stores more than 64 check bits.
+    pub fn extract_check_u64(&self, row: &Bits, word: usize) -> u64 {
+        assert_eq!(row.len(), self.row_cols(), "row width mismatch");
+        assert!(word < self.interleave, "word {word} out of range");
+        assert!(self.check_bits <= 64, "check word wider than 64 bits");
+        if self.check_bits == 0 {
+            return 0;
+        }
+        let limbs = row.as_limbs();
+        let base = self.data_bits * self.interleave;
+        if fast_stride(self.interleave) {
+            return gather_span(limbs, base + word, self.interleave, self.check_bits);
+        }
+        let mut out = 0u64;
+        let mut col = base + word;
+        for bit in 0..self.check_bits {
+            out |= ((limbs[col / 64] >> (col % 64)) & 1) << bit;
+            col += self.interleave;
+        }
+        out
+    }
+
+    /// Writes `width` data bits (`value`, at `bit_offset`) and the full
+    /// check word (`check`) of `word` into a physical row, straight from
+    /// `u64`s with no intermediate [`Bits`]. Columns of the word outside
+    /// the addressed window keep their contents, so placing an XOR delta
+    /// into a cleared scratch row builds exactly the row-wide delta of a
+    /// sub-word update.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same range rules as [`RowLayout::extract_data_u64`]
+    /// and [`RowLayout::extract_check_u64`].
+    pub fn place_word_u64(
+        &self,
+        row: &mut Bits,
+        word: usize,
+        bit_offset: usize,
+        value: u64,
+        width: usize,
+        check: u64,
+    ) {
+        self.place_data_u64(row, word, bit_offset, value, width);
+        self.place_check_u64(row, word, check);
+    }
+
+    /// Writes only the `width`-bit data window of `word` (see
+    /// [`RowLayout::place_word_u64`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same range rules as [`RowLayout::extract_data_u64`].
+    pub fn place_data_u64(
+        &self,
+        row: &mut Bits,
+        word: usize,
+        bit_offset: usize,
+        value: u64,
+        width: usize,
+    ) {
+        assert_eq!(row.len(), self.row_cols(), "row width mismatch");
+        assert!(word < self.interleave, "word {word} out of range");
+        assert!(
+            (1..=64).contains(&width) && bit_offset + width <= self.data_bits,
+            "u64 window {bit_offset}+{width} outside {} data bits",
+            self.data_bits
+        );
+        if fast_stride(self.interleave) {
+            scatter_span(
+                row,
+                bit_offset * self.interleave + word,
+                self.interleave,
+                width,
+                value,
+            );
+            return;
+        }
+        let value = value & low_mask(width);
+        for bit in 0..width {
+            let col = (bit_offset + bit) * self.interleave + word;
+            row.set(col, (value >> bit) & 1 == 1);
+        }
+    }
+
+    /// Writes only the check word of `word` (see
+    /// [`RowLayout::place_word_u64`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same range rules as [`RowLayout::extract_check_u64`].
+    pub fn place_check_u64(&self, row: &mut Bits, word: usize, check: u64) {
+        assert_eq!(row.len(), self.row_cols(), "row width mismatch");
+        assert!(word < self.interleave, "word {word} out of range");
+        assert!(self.check_bits <= 64, "check word wider than 64 bits");
+        if self.check_bits == 0 {
+            return;
+        }
+        let base = self.data_bits * self.interleave;
+        if fast_stride(self.interleave) {
+            scatter_span(row, base + word, self.interleave, self.check_bits, check);
+            return;
+        }
+        for bit in 0..self.check_bits {
+            let col = base + bit * self.interleave + word;
+            row.set(col, (check >> bit) & 1 == 1);
+        }
     }
 
     /// Extracts the check word `word` from a physical row.
@@ -227,6 +567,120 @@ mod tests {
         for b in 0..3 {
             assert_eq!(layout.check_col(0, b), 8 + b);
         }
+    }
+
+    #[test]
+    fn u64_lanes_match_bits_paths() {
+        let layout = RowLayout::new(64, 8, 4);
+        let mut row = Bits::zeros(layout.row_cols());
+        let data = Bits::from_u64(0xDEAD_BEEF_1234_5678, 64);
+        let check = Bits::from_u64(0xA5, 8);
+        layout.place_word(&mut row, 3, &data, &check);
+        assert_eq!(layout.extract_data_u64(&row, 3, 0, 64), data.to_u64());
+        assert_eq!(layout.extract_check_u64(&row, 3), check.to_u64());
+        // Sub-word windows match slices of the Bits extraction.
+        for (off, width) in [(0usize, 16usize), (16, 32), (48, 16), (5, 59)] {
+            assert_eq!(
+                layout.extract_data_u64(&row, 3, off, width),
+                data.slice(off, width).to_u64(),
+                "window {off}+{width}"
+            );
+        }
+        // Untouched words read back zero.
+        assert_eq!(layout.extract_data_u64(&row, 0, 0, 64), 0);
+        // extract_data_into matches extract_data without allocating anew.
+        let mut scratch = Bits::ones(64);
+        layout.extract_data_into(&row, 3, &mut scratch);
+        assert_eq!(scratch, data);
+    }
+
+    #[test]
+    fn gather_scatter_kernels_match_per_bit_definition() {
+        // Every interleave degree with a limb kernel (1/2/4/8) plus one
+        // without (3): extraction and placement must match the per-bit
+        // column map exactly, across unaligned windows.
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        for il in [1usize, 2, 4, 8, 3] {
+            let layout = RowLayout::new(64, 8, il);
+            let mut row = Bits::zeros(layout.row_cols());
+            for w in 0..il {
+                state = state
+                    .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                    .wrapping_add(0x1405_7B7E_F767_814F);
+                layout.place_word(
+                    &mut row,
+                    w,
+                    &Bits::from_u64(state, 64),
+                    &Bits::from_u64(state >> 32, 8),
+                );
+            }
+            for w in 0..il {
+                for (off, width) in [(0usize, 64usize), (0, 1), (7, 13), (31, 33), (63, 1)] {
+                    let mut expect = 0u64;
+                    for b in 0..width {
+                        if row.get(layout.data_col(w, off + b)) {
+                            expect |= 1 << b;
+                        }
+                    }
+                    assert_eq!(
+                        layout.extract_data_u64(&row, w, off, width),
+                        expect,
+                        "il={il} w={w} window {off}+{width}"
+                    );
+                }
+                let mut expect = 0u64;
+                for c in 0..8 {
+                    if row.get(layout.check_col(w, c)) {
+                        expect |= 1 << c;
+                    }
+                }
+                assert_eq!(layout.extract_check_u64(&row, w), expect, "il={il} w={w}");
+                // Scatter roundtrip: place into a fresh row, re-extract.
+                let mut fresh = Bits::ones(layout.row_cols());
+                let data = layout.extract_data_u64(&row, w, 0, 64);
+                layout.place_word_u64(&mut fresh, w, 0, data, 64, expect);
+                assert_eq!(layout.extract_data_u64(&fresh, w, 0, 64), data);
+                assert_eq!(layout.extract_check_u64(&fresh, w), expect);
+                // Untouched words of `fresh` keep their all-ones content.
+                for other in 0..il {
+                    if other != w {
+                        assert_eq!(
+                            layout.extract_data_u64(&fresh, other, 0, 64),
+                            u64::MAX,
+                            "il={il} w={w} other={other}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn place_word_u64_matches_place_word() {
+        let layout = RowLayout::new(64, 8, 4);
+        let mut via_bits = Bits::zeros(layout.row_cols());
+        let mut via_u64 = Bits::zeros(layout.row_cols());
+        let data = 0x0F0F_1234_ABCD_9876u64;
+        let check = 0x3Cu64;
+        layout.place_word(
+            &mut via_bits,
+            1,
+            &Bits::from_u64(data, 64),
+            &Bits::from_u64(check, 8),
+        );
+        layout.place_word_u64(&mut via_u64, 1, 0, data, 64, check);
+        assert_eq!(via_bits, via_u64);
+        // Narrow windows only touch their own columns.
+        let mut row = Bits::ones(layout.row_cols());
+        layout.place_word_u64(&mut row, 2, 8, 0, 16, 0);
+        for bit in 0..64 {
+            let expect = !(8..24).contains(&bit);
+            assert_eq!(row.get(layout.data_col(2, bit)), expect, "bit {bit}");
+        }
+        for bit in 0..8 {
+            assert!(!row.get(layout.check_col(2, bit)), "check bit {bit}");
+        }
+        assert!(row.get(layout.data_col(1, 10)), "other words untouched");
     }
 
     #[test]

@@ -54,7 +54,9 @@ mod stats;
 mod vertical;
 
 pub use bitgrid::BitGrid;
-pub use engine::{EngineError, ReadOutcome, RecoveryReport, TwoDArray, TwoDConfig};
+pub use engine::{
+    EngineError, ReadKind, ReadOutcome, RecoveryReport, TwoDArray, TwoDConfig, WriteKind,
+};
 pub use faults::{ErrorShape, FaultKind, FaultMap, InjectionReport, Injector};
 pub use layout::RowLayout;
 pub use shared::{shared_scheme_builds, BankScheme};

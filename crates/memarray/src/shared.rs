@@ -59,6 +59,15 @@ pub struct BankScheme {
     /// All physical columns (data + check) belonging to each word, used
     /// for limb-level column-intersection during column-mode recovery.
     word_col_masks: Vec<Bits>,
+    /// Per-data-bit check words packed into `u64`s: entry `i` is the
+    /// check word of the `i`-th data unit vector. Because every code in
+    /// the workspace is linear over GF(2), the check word of any data
+    /// pattern — including an XOR *delta* between an old and a new word —
+    /// is the XOR-fold of these masks over its set bits. Present whenever
+    /// the code stores at most 64 check bits; this is what lets the u64
+    /// write fast lane re-encode without calling into the codec (and
+    /// without allocating).
+    check_masks_u64: Option<Vec<u64>>,
     /// When true (SECDED horizontal), single-bit errors found on reads
     /// are corrected in-line without engaging 2D recovery.
     inline_correct: bool,
@@ -111,12 +120,19 @@ impl BankScheme {
             }
             word_col_masks.push(cols);
         }
+        let check_masks_u64 = (check_bits <= 64).then(|| {
+            parity_matrix
+                .iter()
+                .map(|row| row.as_limbs().first().copied().unwrap_or(0))
+                .collect()
+        });
         BankScheme {
             config,
             hcode,
             layout,
             clean_masks,
             word_col_masks,
+            check_masks_u64,
             inline_correct,
         }
     }
@@ -199,6 +215,60 @@ impl BankScheme {
     pub fn word_col_mask(&self, word: usize) -> &Bits {
         &self.word_col_masks[word]
     }
+
+    /// Whether the u64 encode fast lane is available (the code stores at
+    /// most 64 check bits, so check words fit one limb).
+    #[inline]
+    pub fn fast_u64(&self) -> bool {
+        self.check_masks_u64.is_some()
+    }
+
+    /// The check word of the `bit`-th data unit vector as a `u64` (the
+    /// `bit`-th row of the parity matrix, packed). Building a check delta
+    /// bit-by-bit folds these masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fast lane is unavailable ([`BankScheme::fast_u64`]).
+    #[inline]
+    pub fn check_mask_u64(&self, bit: usize) -> u64 {
+        self.check_masks_u64
+            .as_ref()
+            .expect("u64 encode lane needs <=64 check bits")[bit]
+    }
+
+    /// Check word of a `width`-bit data pattern `value` positioned at
+    /// `bit_offset` inside an otherwise-zero data word, computed as the
+    /// XOR-fold of the precomputed per-bit check masks. By linearity this
+    /// is both "encode a narrow word" and "check-delta of a narrow data
+    /// delta"; the result is exact for full-width words too
+    /// (`bit_offset = 0`, `width = data_bits`, for words of at most
+    /// 64 data bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fast lane is unavailable ([`BankScheme::fast_u64`])
+    /// or the window falls outside the data word.
+    #[inline]
+    pub fn encode_u64(&self, bit_offset: usize, value: u64, width: usize) -> u64 {
+        let masks = self
+            .check_masks_u64
+            .as_ref()
+            .expect("u64 encode lane needs <=64 check bits");
+        assert!(
+            (1..=64).contains(&width) && bit_offset + width <= self.config.data_bits,
+            "u64 window {bit_offset}+{width} outside {} data bits",
+            self.config.data_bits
+        );
+        let mut rest = value & crate::layout::low_mask(width);
+        let mut check = 0u64;
+        while rest != 0 {
+            let bit = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            check ^= masks[bit_offset + bit];
+        }
+        check
+    }
 }
 
 impl std::fmt::Debug for BankScheme {
@@ -242,6 +312,39 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         // ...but still shares the codec tables underneath.
         assert!(Arc::ptr_eq(a.codec(), c.codec()));
+    }
+
+    #[test]
+    fn encode_u64_matches_codec() {
+        use ecc::Bits;
+        for kind in [CodeKind::Edc(8), CodeKind::Secded] {
+            let scheme = BankScheme::new(TwoDConfig {
+                rows: 64,
+                horizontal: kind,
+                data_bits: 64,
+                interleave: 4,
+                vertical_rows: 16,
+            });
+            assert!(scheme.fast_u64());
+            let mut state = 0x1357_9BDF_2468_ACE0u64;
+            for _ in 0..32 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let expect = scheme.codec().encode(&Bits::from_u64(state, 64)).to_u64();
+                assert_eq!(
+                    scheme.encode_u64(0, state, 64),
+                    expect,
+                    "{kind:?} {state:#x}"
+                );
+            }
+            // Narrow windows equal the encode of the shifted pattern.
+            let narrow = scheme
+                .codec()
+                .encode(&Bits::from_u64(0xABu64 << 20, 64))
+                .to_u64();
+            assert_eq!(scheme.encode_u64(20, 0xAB, 8), narrow);
+        }
     }
 
     #[test]

@@ -10,6 +10,15 @@ pub struct EngineStats {
     pub writes: u64,
     /// Extra array reads issued for read-before-write vertical updates.
     pub extra_reads: u64,
+    /// Word writes suppressed because the read-before-write found the
+    /// stored word already equal to the new data. Suppressing the row
+    /// write and the vertical-parity update for such *silent writes* is
+    /// the lever of traffic-aware ECC schemes ("Using Silent Writes in
+    /// Low-Power Traffic-Aware ECC", Kishani et al.): when a write
+    /// changes nothing, all coding work can be skipped without touching
+    /// correctness. The read-before-write the 2D scheme already performs
+    /// makes the detection free.
+    pub silent_writes: u64,
     /// Errors corrected in-line by the horizontal code (e.g. SECDED).
     pub inline_corrections: u64,
     /// 2D recovery invocations.

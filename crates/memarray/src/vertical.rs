@@ -86,6 +86,23 @@ impl VerticalParity {
         self.rows[stripe].xor_assign(new);
     }
 
+    /// Incremental update from a precomputed row delta: XORs `old ^ new`
+    /// into the stripe parity of `row`. Equivalent to
+    /// [`VerticalParity::update`] when the caller already holds the XOR
+    /// of the old and new row contents — the write fast lane builds
+    /// exactly that delta in a scratch row, so the full-row old/new pair
+    /// (and its clone) never needs to exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[inline]
+    pub fn update_delta(&mut self, row: usize, delta: &Bits) {
+        assert_eq!(delta.len(), self.cols, "delta width mismatch");
+        let stripe = self.stripe_of(row);
+        self.rows[stripe].xor_assign(delta);
+    }
+
     /// Directly XORs a delta into a stripe (used when recovery rewrites a
     /// row whose old content is already known to be corrupt).
     pub fn xor_stripe(&mut self, stripe: usize, delta: &Bits) {
@@ -206,6 +223,18 @@ mod tests {
         assert_eq!(vp.parity_row(0), &b);
         vp.update(2, &zero, &a); // row 2 shares stripe 0
         assert_eq!(vp.parity_row(0), &b.xor(&a));
+    }
+
+    #[test]
+    fn update_delta_equals_update() {
+        let cols = 96;
+        let mut a = VerticalParity::new(4, cols);
+        let mut b = VerticalParity::new(4, cols);
+        let old = Bits::from_positions(cols, &[0, 40, 95]);
+        let new = Bits::from_positions(cols, &[1, 40, 70]);
+        a.update(6, &old, &new);
+        b.update_delta(6, &old.xor(&new));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Equivalence replay: the scratch-buffer / u64 fast lanes must be
+//! bit-for-bit indistinguishable from the allocating `Bits` paths, under
+//! random traffic *and* random fault injection.
+//!
+//! Two banks with identical configurations replay the same operation
+//! stream — one through `try_read_word_u64` / `try_write_word_u64` /
+//! `try_{read,write}_row_u64` (with the documented fallbacks), the other
+//! through `read_word` / `write_word` — interleaved with identical error
+//! injections. After every round, every word of both banks is read back
+//! and compared, the vertical parity registers are compared, and both
+//! banks must pass their full audit. Raw cell contents are deliberately
+//! *not* compared: under stuck-at faults the two paths may leave
+//! different values beneath a stuck cell (the overlay masks both), which
+//! is an explicitly documented non-observable difference.
+
+use ecc::{Bits, CodeKind};
+use memarray::{ErrorShape, TwoDArray, TwoDConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const ROWS: usize = 64;
+const WORDS: usize = 4;
+
+fn config(horizontal: CodeKind) -> TwoDConfig {
+    TwoDConfig {
+        rows: ROWS,
+        horizontal,
+        data_bits: 64,
+        interleave: 4,
+        vertical_rows: 16,
+    }
+}
+
+/// Writes through the fast lanes exactly the way the cache layer does:
+/// u64 lane first, allocating read-modify-write fallback on refusal.
+fn lane_write(bank: &mut TwoDArray, row: usize, word: usize, off: usize, value: u64, width: usize) {
+    if bank
+        .try_write_word_u64(row, word, off, value, width)
+        .is_some()
+    {
+        return;
+    }
+    let mut stored = match bank.read_word(row, word) {
+        Ok(out) => out.into_data(),
+        Err(_) => Bits::zeros(64),
+    };
+    stored.write_slice(off, &Bits::from_u64(value, width));
+    bank.write_word(row, word, &stored);
+}
+
+/// Reference path: plain allocating read-modify-write over `Bits`.
+fn bits_write(bank: &mut TwoDArray, row: usize, word: usize, off: usize, value: u64, width: usize) {
+    let mut stored = match bank.read_word(row, word) {
+        Ok(out) => out.into_data(),
+        Err(_) => Bits::zeros(64),
+    };
+    stored.write_slice(off, &Bits::from_u64(value, width));
+    bank.write_word(row, word, &stored);
+}
+
+fn lane_read(bank: &mut TwoDArray, row: usize, word: usize) -> u64 {
+    match bank.try_read_word_u64(row, word, 0, 64) {
+        Some(v) => v,
+        None => bank.read_word(row, word).unwrap().into_data().to_u64(),
+    }
+}
+
+/// `max_w`/`max_h` bound the injected cluster footprints to the scheme's
+/// guaranteed coverage, so recovery always converges and audits pass.
+fn replay(horizontal: CodeKind, seed: u64, max_w: usize, max_h: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fast = TwoDArray::new(config(horizontal));
+    let mut slow = TwoDArray::new(config(horizontal));
+    for round in 0..12 {
+        // A burst of writes: full words, sub-word windows, and whole rows.
+        for _ in 0..40 {
+            let row = rng.gen_range(0..ROWS);
+            let word = rng.gen_range(0..WORDS);
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    // Sub-word window write.
+                    let off = rng.gen_range(0..56usize);
+                    let width = rng.gen_range(1..=(64 - off).min(32));
+                    let value: u64 = rng.gen();
+                    lane_write(&mut fast, row, word, off, value, width);
+                    bits_write(&mut slow, row, word, off, value, width);
+                }
+                1 => {
+                    // Row-granular write vs four word writes.
+                    let mut values = [0u64; WORDS];
+                    for v in &mut values {
+                        *v = rng.gen();
+                    }
+                    if !fast.try_write_row_u64(row, &values) {
+                        for (w, &v) in values.iter().enumerate() {
+                            lane_write(&mut fast, row, w, 0, v, 64);
+                        }
+                    }
+                    for (w, &v) in values.iter().enumerate() {
+                        slow.write_word(row, w, &Bits::from_u64(v, 64));
+                    }
+                }
+                _ => {
+                    // Full-word write; occasionally a repeat of the stored
+                    // value so the silent-write path gets traffic.
+                    let value: u64 = if rng.gen_bool(0.15) {
+                        lane_read(&mut fast, row, word)
+                    } else {
+                        rng.gen()
+                    };
+                    lane_write(&mut fast, row, word, 0, value, 64);
+                    slow.write_word(row, word, &Bits::from_u64(value, 64));
+                }
+            }
+        }
+        // Identical fault injection, within the scheme's H x V coverage.
+        let shape = if rng.gen_bool(0.5) {
+            ErrorShape::Single {
+                row: rng.gen_range(0..ROWS),
+                col: rng.gen_range(0..fast.cols()),
+            }
+        } else {
+            ErrorShape::Cluster {
+                row: rng.gen_range(0..ROWS - max_h),
+                col: rng.gen_range(0..fast.cols() - max_w),
+                height: rng.gen_range(1..=max_h),
+                width: rng.gen_range(1..=max_w),
+            }
+        };
+        fast.inject(shape);
+        slow.inject(shape);
+        // Full readback through the respective lanes: every word must
+        // match bit for bit, errors and recoveries included.
+        for row in 0..ROWS {
+            let mut row_vals = [0u64; WORDS];
+            let row_ok = fast.try_read_row_u64(row, &mut row_vals);
+            for word in 0..WORDS {
+                let f = lane_read(&mut fast, row, word);
+                let s = slow.read_word(row, word).unwrap().into_data().to_u64();
+                assert_eq!(f, s, "round {round} row {row} word {word}");
+                if row_ok {
+                    assert_eq!(row_vals[word], s, "row lane, round {round} row {row}");
+                }
+            }
+        }
+        assert_eq!(
+            fast.vertical(),
+            slow.vertical(),
+            "round {round}: vertical parity diverged"
+        );
+        assert!(fast.audit(), "round {round}: fast bank fails audit");
+        assert!(slow.audit(), "round {round}: slow bank fails audit");
+    }
+    // Both paths suppressed the same silent writes.
+    assert_eq!(fast.stats().silent_writes, slow.stats().silent_writes);
+}
+
+#[test]
+fn edc_lanes_match_bits_paths_under_faults() {
+    replay(CodeKind::Edc(8), 0xFA57_1A4E, 16, 8);
+}
+
+#[test]
+fn secded_lanes_match_bits_paths_under_faults() {
+    // SECDED exercises the inline-correction refusal path of the lanes.
+    // Cluster width stays within the interleave degree (one bit per
+    // word per row) so inline correction is always sound.
+    replay(CodeKind::Secded, 0x5EC_DED, 4, 8);
+}
+
+#[test]
+fn stuck_at_faults_stay_equivalent_observably() {
+    let mut fast = TwoDArray::new(config(CodeKind::Secded));
+    let mut slow = TwoDArray::new(config(CodeKind::Secded));
+    let mut rng = StdRng::seed_from_u64(77);
+    for bank in [&mut fast, &mut slow] {
+        bank.inject_hard(ErrorShape::Single { row: 5, col: 9 }, true);
+        bank.inject_hard(ErrorShape::Single { row: 20, col: 100 }, false);
+    }
+    for _ in 0..200 {
+        let row = rng.gen_range(0..ROWS);
+        let word = rng.gen_range(0..WORDS);
+        let value: u64 = rng.gen();
+        lane_write(&mut fast, row, word, 0, value, 64);
+        slow.write_word(row, word, &Bits::from_u64(value, 64));
+    }
+    for row in 0..ROWS {
+        for word in 0..WORDS {
+            let f = lane_read(&mut fast, row, word);
+            let s = slow.read_word(row, word).unwrap().into_data().to_u64();
+            assert_eq!(f, s, "row {row} word {word}");
+        }
+    }
+    assert_eq!(fast.vertical(), slow.vertical());
+}
