@@ -6,9 +6,21 @@ Usage:
     python3 scripts/bench_gate.py \
         --baseline BENCH_codecs.json --fresh target/bench-gate/BENCH_codecs.json \
         --baseline BENCH_engine.json --fresh target/bench-gate/BENCH_engine.json \
+        --baseline BENCH_cache.json --fresh target/bench-gate/BENCH_cache.json \
         --baseline BENCH_service.json --fresh target/bench-gate/BENCH_service.json
 
 Each --baseline is paired positionally with the matching --fresh file.
+
+BENCH_cache.json rows are single-threaded protected-cache hit/miss paths
+and are gated like every other row. Rows may additionally carry
+"allocs_per_op" (measured when the perf binary is built with
+`--features count-allocs`). Allocation counts are near-deterministic, so
+they get a *hard* gate where the timing gate is loose: a row whose
+baseline pins 0 allocs/op fails the build if a fresh measurement
+allocates at all — that is the allocation-regression contract of the
+zero-allocation hot paths. Rows with nonzero baseline allocs are
+reported informationally (their counts legitimately drift with workload
+mix), and rows where either side lacks the field are skipped.
 
 BENCH_service.json rows are aggregate wall-clock ns/op of the concurrent
 sharded cache service (`service.seq_ops` = lock-free sequential
@@ -59,23 +71,30 @@ DEFAULT_TOLERANCE = 5.0
 
 
 def load_results(path):
-    """Return {(name, op): mean_ns} for one BENCH_*.json file."""
+    """Return {(name, op): (mean_ns, allocs_per_op | None)} for one
+    BENCH_*.json file."""
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != "twod-repro/bench-v1":
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {(r["name"], r["op"]): float(r["mean_ns"]) for r in doc["results"]}
+    return {
+        (r["name"], r["op"]): (
+            float(r["mean_ns"]),
+            float(r["allocs_per_op"]) if "allocs_per_op" in r else None,
+        )
+        for r in doc["results"]
+    }
 
 
 def service_summary(path):
     """Print derived service figures (scaling, lock overhead) for one
     freshly measured BENCH_service.json. Informational only."""
     results = load_results(path)
-    one = results.get(("service", "conc_ops_1t"))
-    seq = results.get(("service", "seq_ops"))
+    one = results.get(("service", "conc_ops_1t"), (None, None))[0]
+    seq = results.get(("service", "seq_ops"), (None, None))[0]
     if one:
         for n in (2, 4, 8):
-            nt = results.get(("service", f"conc_ops_{n}t"))
+            nt = results.get(("service", f"conc_ops_{n}t"), (None, None))[0]
             if nt:
                 print(f"  [info] service scaling at {n} threads: {one / nt:.2f}x")
     if one and seq:
@@ -104,21 +123,35 @@ def main():
                 print(f"  [skip] {name}: only in baseline ({base_path})")
                 continue
             if key not in base:
-                print(f"  [new ] {name}: not in baseline yet ({fresh[key]:.1f} ns)")
+                print(f"  [new ] {name}: not in baseline yet "
+                      f"({fresh[key][0]:.1f} ns)")
                 continue
-            ratio = fresh[key] / base[key] if base[key] > 0 else float("inf")
+            base_ns, base_allocs = base[key]
+            fresh_ns, fresh_allocs = fresh[key]
+            ratio = fresh_ns / base_ns if base_ns > 0 else float("inf")
             if (key[0] == "service" and key[1].startswith("conc_ops_")
                     and key[1] != "conc_ops_1t"):
                 # Multi-threaded rows vary with the runner's core count,
                 # not with the code under test (see module docstring).
-                print(f"  [info] {name}: baseline {base[key]:.1f} ns, "
-                      f"fresh {fresh[key]:.1f} ns ({ratio:.2f}x, not gated)")
+                print(f"  [info] {name}: baseline {base_ns:.1f} ns, "
+                      f"fresh {fresh_ns:.1f} ns ({ratio:.2f}x, not gated)")
                 continue
             status = "FAIL" if ratio > args.tolerance else "ok"
-            print(f"  [{status:>4}] {name}: baseline {base[key]:.1f} ns, "
-                  f"fresh {fresh[key]:.1f} ns ({ratio:.2f}x)")
+            print(f"  [{status:>4}] {name}: baseline {base_ns:.1f} ns, "
+                  f"fresh {fresh_ns:.1f} ns ({ratio:.2f}x)")
             if ratio > args.tolerance:
-                regressions.append((name, base[key], fresh[key], ratio))
+                regressions.append((name, base_ns, fresh_ns, ratio))
+            # Allocation gate: near-deterministic, so a 0-allocs baseline
+            # is a hard pin (see module docstring).
+            if base_allocs is not None and fresh_allocs is not None:
+                if base_allocs == 0 and fresh_allocs > 0:
+                    print(f"  [FAIL] {name}: allocation regression — "
+                          f"baseline 0 allocs/op, fresh {fresh_allocs:.3f}")
+                    regressions.append(
+                        (f"{name} (allocs/op)", 0.0, fresh_allocs, float("inf")))
+                else:
+                    print(f"  [info] {name}: {fresh_allocs:.3f} allocs/op "
+                          f"(baseline {base_allocs:.3f})")
         if any(k[0] == "service" for k in fresh):
             service_summary(fresh_path)
 
