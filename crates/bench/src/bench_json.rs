@@ -1,0 +1,81 @@
+//! The single emitter of the `twod-repro/bench-v1` JSON row schema.
+//!
+//! Both the `perf` baseline emitter and the `campaign` soak driver
+//! write `BENCH_*.json` files consumed by `scripts/bench_gate.py`; the
+//! schema string, row field order, and formatting live here once so the
+//! two producers cannot drift apart.
+
+use std::fmt::Write as _;
+
+/// One measured row of a `BENCH_*.json` file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    /// Section name (e.g. `"scrub"`).
+    pub name: String,
+    /// Operation name within the section (e.g. `"slice_clean"`).
+    pub op: String,
+    /// Mean wall-clock nanoseconds per operation.
+    pub mean_ns: f64,
+    /// Iterations (or samples) behind the mean.
+    pub iters: u64,
+    /// Mean heap allocations per operation, when measured (perf built
+    /// with `count-allocs`).
+    pub allocs_per_op: Option<f64>,
+}
+
+/// Renders rows in the `twod-repro/bench-v1` schema. `mode` records how
+/// the numbers were measured (`"full"`, `"quick"`, `"campaign"`).
+pub fn render(mode: &str, rows: &[BenchRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"twod-repro/bench-v1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let allocs = match r.allocs_per_op {
+            Some(a) => format!(", \"allocs_per_op\": {a:.3}"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"op\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}{allocs}}}{comma}",
+            r.name, r.op, r.mean_ns, r.iters
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_schema_and_rows() {
+        let rows = vec![
+            BenchRow {
+                name: "scrub".into(),
+                op: "row_scan".into(),
+                mean_ns: 123.456,
+                iters: 10,
+                allocs_per_op: None,
+            },
+            BenchRow {
+                name: "cache".into(),
+                op: "read_hit".into(),
+                mean_ns: 1.0,
+                iters: 5,
+                allocs_per_op: Some(0.0),
+            },
+        ];
+        let out = render("quick", &rows);
+        assert!(out.contains("\"schema\": \"twod-repro/bench-v1\""));
+        assert!(out.contains("\"mode\": \"quick\""));
+        assert!(out.contains("\"mean_ns\": 123.456"));
+        assert!(out.contains("\"allocs_per_op\": 0.000"));
+        // Exactly one trailing comma between the two rows, none after
+        // the last (valid JSON).
+        assert_eq!(out.matches("},").count(), 1);
+    }
+}

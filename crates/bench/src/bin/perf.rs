@@ -1,8 +1,10 @@
 //! Perf-trajectory emitter: measures mean ns/op for every codec, for
-//! the 2D engine's array operations, and for the concurrent sharded
-//! cache service under multi-threaded traffic, and writes the results
-//! as `BENCH_codecs.json`, `BENCH_engine.json`, and
-//! `BENCH_service.json`.
+//! the 2D engine's array operations, for the protected-cache hit/miss
+//! paths, for the concurrent sharded cache service under multi-threaded
+//! traffic, and for the self-healing scrub paths (incremental slices
+//! plus chaos-campaign MTTR/interference figures), and writes the
+//! results as `BENCH_codecs.json`, `BENCH_engine.json`,
+//! `BENCH_cache.json`, `BENCH_service.json`, and `BENCH_scrub.json`.
 //!
 //! These artifacts seed the performance baseline that later optimization
 //! PRs are measured against; CI uploads them on every push and
@@ -22,11 +24,12 @@
 //! bit flips injected — for BCH codes this exercises Berlekamp–Massey
 //! and the Chien search).
 
-use bench::alloc_counter;
-use cachesim::{generate_ops, run_traffic, AccessPattern, Op, TrafficConfig};
+use bench::{alloc_counter, bench_json};
+use cachesim::{
+    generate_ops, run_campaign, run_traffic, AccessPattern, CampaignConfig, Op, TrafficConfig,
+};
 use ecc::{Bch, Bits, Code, CodeKind, Edc, Secded};
 use memarray::{ErrorShape, TwoDArray, TwoDConfig};
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -389,33 +392,109 @@ fn service_samples(quick: bool, filter: &Option<String>) -> Vec<Sample> {
     samples
 }
 
-fn render_json(mode: &str, samples: &[Sample]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"twod-repro/bench-v1\",");
-    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
-    s.push_str("  \"results\": [\n");
-    for (i, r) in samples.iter().enumerate() {
-        let comma = if i + 1 == samples.len() { "" } else { "," };
-        let allocs = match r.allocs_per_op {
-            Some(a) => format!(", \"allocs_per_op\": {a:.3}"),
-            None => String::new(),
-        };
-        let _ = writeln!(
-            s,
-            "    {{\"name\": \"{}\", \"op\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}{allocs}}}{comma}",
-            r.name, r.op, r.mean_ns, r.iters
-        );
+/// The self-healing benchmark set: incremental-scrub micro paths on the
+/// paper's 256-row bank plus figures extracted from one seeded chaos
+/// campaign (background scrubber active, the full scenario deck).
+///
+/// * `slice_clean` / `full_pass_clean` — detection-side scrub cost on a
+///   clean bank (per 32-row slice, per whole-bank pass);
+/// * `repair_cluster_16x16` — scrub-detected 16x16 cluster repair;
+/// * `row_scan` — mean ns the background scrubber spends per row
+///   scanned during the campaign (inverse scrub throughput);
+/// * `campaign_mttr` — mean injection-to-repair latency during the
+///   campaign;
+/// * `campaign_p99` — p99 foreground operation latency under
+///   traffic + faults + background scrubbing (the interference figure).
+fn scrub_samples(runner: &mut Runner, quick: bool) -> Vec<Sample> {
+    let mut bank = TwoDArray::new(paper_config(256));
+    let word = Bits::from_u64(0x5EED_5C12_B000_0001, 64);
+    for r in 0..256 {
+        for w in 0..4 {
+            bank.write_word(r, w, &word);
+        }
     }
-    s.push_str("  ]\n}\n");
-    s
+    runner.bench("scrub", "slice_clean", || bank.scrub_step(32).unwrap());
+    runner.bench("scrub", "full_pass_clean", || bank.scrub().unwrap());
+    runner.bench("scrub", "repair_cluster_16x16", || {
+        bank.inject(ErrorShape::Cluster {
+            row: 3,
+            col: 8,
+            height: 16,
+            width: 16,
+        });
+        bank.scrub().unwrap()
+    });
+    let mut samples = runner.take_samples();
+
+    // Campaign-derived figures. One run feeds all three rows; the
+    // filter is matched against each row key like everywhere else.
+    let matches = |op: &str| {
+        runner
+            .filter
+            .as_ref()
+            .is_none_or(|f| format!("scrub.{op}").contains(f.as_str()))
+    };
+    if matches("row_scan") || matches("campaign_mttr") || matches("campaign_p99") {
+        let mut cfg = CampaignConfig::quick(0x5C12_B5EE_D000_0001);
+        // Three rounds of the deck: ~36 MTTR samples instead of 12, so
+        // the campaign_mttr row's mean is stable enough to gate.
+        cfg.rounds = 3;
+        if quick {
+            cfg.ops_per_phase = 1_500;
+        }
+        let report = run_campaign(&cfg);
+        assert!(
+            report.outcome.healthy(),
+            "perf campaign must end healthy: {:?}",
+            report.outcome
+        );
+        let t = report.timing;
+        if matches("row_scan") {
+            samples.push(Sample {
+                name: "scrub",
+                op: "row_scan",
+                mean_ns: t.scrub_row_scan_ns,
+                iters: t.scrub_clean_rows,
+                allocs_per_op: None,
+            });
+        }
+        if matches("campaign_mttr") {
+            samples.push(Sample {
+                name: "scrub",
+                op: "campaign_mttr",
+                mean_ns: t.mttr_mean_ns,
+                iters: t.mttr_samples,
+                allocs_per_op: None,
+            });
+        }
+        if matches("campaign_p99") {
+            samples.push(Sample {
+                name: "scrub",
+                op: "campaign_p99",
+                mean_ns: t.foreground_p99_ns,
+                iters: report.outcome.total_reads + report.outcome.total_writes,
+                allocs_per_op: None,
+            });
+        }
+    }
+    samples
 }
 
 fn emit(path: &Path, mode: &str, samples: &[Sample], print_only: bool) {
     if print_only {
         println!("{} (print-only, --filter active)", path.display());
     } else {
-        std::fs::write(path, render_json(mode, samples))
+        let rows: Vec<bench_json::BenchRow> = samples
+            .iter()
+            .map(|r| bench_json::BenchRow {
+                name: r.name.to_string(),
+                op: r.op.to_string(),
+                mean_ns: r.mean_ns,
+                iters: r.iters,
+                allocs_per_op: r.allocs_per_op,
+            })
+            .collect();
+        std::fs::write(path, bench_json::render(mode, &rows))
             .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         println!("wrote {} ({} results)", path.display(), samples.len());
     }
@@ -465,7 +544,8 @@ fn main() {
                 println!("  --filter matches against `name.op` keys (e.g. 'oecned',");
                 println!("  'encode', 'twod_array.recover', 'cache.read_hit',");
                 println!("  'cache.write_hit', 'cache.write_hit_silent',");
-                println!("  'cache.read_miss_fill'). Filtered runs print the results");
+                println!("  'cache.read_miss_fill', 'scrub.slice_clean',");
+                println!("  'scrub.campaign_mttr'). Filtered runs print the results");
                 println!("  without writing BENCH_*.json, so a subset run can never");
                 println!("  clobber a committed full baseline.");
                 println!();
@@ -506,4 +586,6 @@ fn main() {
         &service,
         print_only,
     );
+    let scrub = scrub_samples(&mut runner, quick);
+    emit(&out_dir.join("BENCH_scrub.json"), mode, &scrub, print_only);
 }

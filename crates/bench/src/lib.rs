@@ -8,6 +8,7 @@
 //! original figure.
 
 pub mod alloc_counter;
+pub mod bench_json;
 
 /// Prints a section header.
 pub fn header(title: &str) {

@@ -54,6 +54,10 @@ pub use l2::{BankedL2, L2Access};
 pub use mshr::MshrPool;
 pub use port::{ExtraGrant, L1Ports, PortGrant};
 pub use runner::{figure5, figure5_average, figure6, Fig5Row, Fig6Row, DEFAULT_CYCLES};
+pub use service::campaign::{
+    run_campaign, CampaignConfig, CampaignOutcome, CampaignReport, CampaignTiming, FaultScenario,
+    PhaseOutcome,
+};
 pub use service::{
     generate_ops, replay_ops, run_traffic, run_traffic_with_storm, AccessPattern, FaultStorm, Op,
     ServiceReport, TrafficConfig,

@@ -19,6 +19,8 @@
 //! per-address read-your-writes check that holds under any thread
 //! interleaving precisely because owners are exclusive writers.
 
+pub mod campaign;
+
 use crate::{HotSetSampler, ZipfSampler};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashMap;

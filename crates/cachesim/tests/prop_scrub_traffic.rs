@@ -1,0 +1,114 @@
+//! Scrub-under-traffic linearizability: property tests that a
+//! background scrub pass concurrent with random multi-threaded traffic
+//! never loses a committed write and always drives injected correctable
+//! faults to zero.
+//!
+//! Each case runs a small chaos campaign ([`cachesim::run_campaign`])
+//! with a randomly drawn configuration: worker count, write mix, line
+//! space, scenario subset, and scrubber cadence. The campaign itself
+//! verifies per-address read-your-writes *during* the run (worker
+//! panics fail the test through the campaign), and its outcome exposes
+//! the end-state invariants asserted here:
+//!
+//! * `lost_writes == 0` — every committed write survives the scrubbing;
+//! * `unrecoverable_words == 0` and `uncorrectable_events == 0` — every
+//!   injected correctable fault was driven to zero;
+//! * `final_audit` — every bank's horizontal checks and stripe parities
+//!   verify clean after drain.
+
+use cachesim::{run_campaign, CampaignConfig, FaultScenario};
+use proptest::prelude::*;
+use std::time::Duration;
+use twod_cache::ScrubberConfig;
+
+/// A strategy over small campaign configurations. Geometry stays at the
+/// quick-campaign default (96-row banks) so every library scenario is
+/// within coverage; everything else varies.
+fn campaign_strategy() -> impl Strategy<Value = CampaignConfig> {
+    let pool = vec![
+        FaultScenario::SingleBits { events: 3 },
+        FaultScenario::Rect {
+            height: 8,
+            width: 8,
+        },
+        FaultScenario::Rect {
+            height: 2,
+            width: 24,
+        },
+        FaultScenario::RowStrip { rows: 2 },
+        FaultScenario::ColumnStrip { cols: 1 },
+        FaultScenario::LShape {
+            arm: 10,
+            thickness: 2,
+        },
+        FaultScenario::SilentWriteHeavy,
+    ];
+    (
+        any::<u64>(),                               // seed
+        1usize..=3,                                 // threads
+        proptest::sample::subsequence(pool, 1..=4), // deck subset
+        0.1f64..0.7,                                // write fraction
+        64u64..=192,                                // lines
+        any::<bool>(),                              // adaptive cadence
+    )
+        .prop_map(
+            |(seed, threads, scenarios, write_fraction, lines, adaptive)| CampaignConfig {
+                seed,
+                threads,
+                scenarios,
+                write_fraction,
+                lines,
+                ops_per_phase: 900,
+                scrubber: Some(ScrubberConfig {
+                    threads: 2,
+                    rows_per_slice: 16,
+                    idle_interval: Duration::from_micros(400),
+                    min_interval: Duration::from_micros(20),
+                    adaptive,
+                    time_acceleration: 3600.0,
+                }),
+                mttr_timeout: Duration::from_millis(100),
+                ..CampaignConfig::quick(seed)
+            },
+        )
+}
+
+proptest! {
+    // Each case spins up threads and a scrubber; keep the count modest
+    // (release-mode CI runs this via the stress-release job).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The core linearizability property: concurrent scrubbing plus
+    /// fault injection never loses a committed write, and every
+    /// injected correctable fault is driven to zero by the end.
+    #[test]
+    fn scrub_under_traffic_loses_nothing(cfg in campaign_strategy()) {
+        let report = run_campaign(&cfg);
+        let o = &report.outcome;
+        prop_assert_eq!(o.lost_writes, 0, "committed writes lost: {:?}", o);
+        prop_assert_eq!(o.unrecoverable_words, 0, "words left unrecoverable: {:?}", o);
+        prop_assert_eq!(o.uncorrectable_events, 0, "scrub hit uncorrectable damage: {:?}", o);
+        prop_assert!(o.final_audit, "arrays failed the final audit: {:?}", o);
+        // The campaign actually did something.
+        prop_assert!(o.total_writes > 0);
+        prop_assert!(report.timing.scrub_rows_scanned > 0, "scrubber never ran");
+    }
+
+    /// Determinism rides along: the outcome (including the data
+    /// checksum) is a pure function of the configuration.
+    #[test]
+    fn outcome_is_reproducible(seed in any::<u64>()) {
+        let cfg = CampaignConfig {
+            ops_per_phase: 600,
+            lines: 64,
+            scenarios: vec![
+                FaultScenario::SingleBits { events: 2 },
+                FaultScenario::Rect { height: 4, width: 4 },
+            ],
+            ..CampaignConfig::quick(seed)
+        };
+        let a = run_campaign(&cfg).outcome;
+        let b = run_campaign(&cfg).outcome;
+        prop_assert_eq!(a, b);
+    }
+}

@@ -325,6 +325,37 @@ impl ProtectedCache {
         Ok(())
     }
 
+    /// Incremental scrub: advances the data array's scrub cursor by at
+    /// most `max_rows` rows (see [`memarray::TwoDArray::scrub_step`]).
+    /// When the data sweep wraps, the tag array — orders of magnitude
+    /// smaller — is scrubbed whole, so one full sweep of slices covers
+    /// everything [`ProtectedCache::scrub`] covers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if either array holds uncorrectable
+    /// damage.
+    pub fn scrub_step(&mut self, max_rows: usize) -> Result<memarray::ScrubSlice, EngineError> {
+        let slice = self.data.scrub_step(max_rows)?;
+        if slice.wrapped {
+            self.tags.scrub()?;
+        }
+        Ok(slice)
+    }
+
+    /// Engine statistics of the tag array.
+    pub fn tag_engine_stats(&self) -> memarray::EngineStats {
+        self.tags.stats()
+    }
+
+    /// Error events observed by either array from any detection source
+    /// (inline corrections, recoveries, scrub finds). Monotonic — the
+    /// adaptive scrub-rate controller diffs successive snapshots to
+    /// estimate this bank's live error traffic.
+    pub fn observed_errors(&self) -> u64 {
+        self.data.stats().observed_errors() + self.tags.stats().observed_errors()
+    }
+
     /// Whether both arrays pass their full consistency audit.
     pub fn audit(&self) -> bool {
         self.data.audit() && self.tags.audit()

@@ -17,7 +17,7 @@
 //! no global lock anywhere, so no lock ordering and no deadlock.
 
 use crate::{CacheConfig, CacheStats, ProtectedCache};
-use memarray::{EngineError, EngineStats, ErrorShape};
+use memarray::{EngineError, EngineStats, ErrorShape, ScrubSlice};
 use std::fmt;
 use std::sync::{Mutex, MutexGuard};
 
@@ -174,6 +174,32 @@ impl ConcurrentBankedCache {
         Ok(())
     }
 
+    /// Incremental scrub of one bank: locks the bank only for a
+    /// `max_rows`-row slice (plus any recovery it triggers), so
+    /// foreground accesses to the bank wait for a bounded scan instead
+    /// of a whole-bank audit. See [`ProtectedCache::scrub_step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the bank holds uncorrectable damage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn scrub_bank_step(&self, bank: usize, max_rows: usize) -> Result<ScrubSlice, EngineError> {
+        self.lock_bank(bank).scrub_step(max_rows)
+    }
+
+    /// Error events observed by one bank from any detection source
+    /// (monotonic; see [`ProtectedCache::observed_errors`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn bank_observed_errors(&self, bank: usize) -> u64 {
+        self.lock_bank(bank).observed_errors()
+    }
+
     /// Whether every bank passes its audit (locks one bank at a time).
     pub fn audit(&self) -> bool {
         (0..self.banks.len()).all(|i| self.lock_bank(i).audit())
@@ -199,20 +225,13 @@ impl ConcurrentBankedCache {
     }
 
     /// Aggregated data-array engine statistics across banks (recoveries,
-    /// extra reads, ...), collected bank by bank.
+    /// extra reads, ...), collected bank by bank. Uses
+    /// [`EngineStats::merge`], so every counter — including ones added
+    /// after this aggregation was written — participates.
     pub fn data_engine_stats(&self) -> EngineStats {
         let mut total = EngineStats::default();
         for i in 0..self.banks.len() {
-            let s = self.lock_bank(i).data_engine_stats();
-            total.reads += s.reads;
-            total.writes += s.writes;
-            total.extra_reads += s.extra_reads;
-            total.inline_corrections += s.inline_corrections;
-            total.recoveries += s.recoveries;
-            total.recovery_rows_scanned += s.recovery_rows_scanned;
-            total.bits_recovered += s.bits_recovered;
-            total.cells_remapped += s.cells_remapped;
-            total.scrub_passes += s.scrub_passes;
+            total.merge(&self.lock_bank(i).data_engine_stats());
         }
         total
     }

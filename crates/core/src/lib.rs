@@ -19,6 +19,9 @@
 //! * [`ConcurrentBankedCache`] — the thread-safe sharded service: one
 //!   lock per bank, `&self` reads/writes, per-bank recovery that never
 //!   stalls sibling banks;
+//! * [`Scrubber`] — the self-healing layer: background threads sweeping
+//!   the banks in lock-bounded slices, with an adaptive rate controller
+//!   driven by observed error traffic and online FIT/MTTF accounting;
 //! * [`BankedProtectedCache`] — the sequential (`&mut self`) facade over
 //!   the same banks;
 //! * [`analysis`] — the overhead composition behind the paper's Figure 7.
@@ -47,8 +50,10 @@ mod banked;
 mod cache;
 mod concurrent;
 mod scheme;
+mod scrubber;
 
 pub use banked::BankedProtectedCache;
 pub use cache::{CacheConfig, CacheStats, ProtectedCache, LINE_BYTES};
 pub use concurrent::ConcurrentBankedCache;
 pub use scheme::TwoDScheme;
+pub use scrubber::{Scrubber, ScrubberConfig, ScrubberStats};

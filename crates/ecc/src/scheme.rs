@@ -207,6 +207,17 @@ impl fmt::Display for InterleavedScheme {
 mod tests {
     use super::*;
 
+    /// Compile-and-impl witness for the gated serde derives: the
+    /// feature-matrix CI job runs the suite with `--features serde`, so
+    /// a rotted `cfg_attr` site fails there instead of never building.
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_derives_produce_impls() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<CodeKind>();
+        assert_serde::<InterleavedScheme>();
+    }
+
     #[test]
     fn check_bits_match_figure1() {
         // Figure 1(b): extra storage for 64b and 256b words.

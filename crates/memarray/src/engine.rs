@@ -97,6 +97,22 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Outcome of one incremental scrub slice (see
+/// [`TwoDArray::scrub_step`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubSlice {
+    /// Data rows scanned by this slice.
+    pub rows_scanned: usize,
+    /// Rows found failing their horizontal check.
+    pub dirty_rows: usize,
+    /// Whether a 2D recovery ran as a result of this slice.
+    pub recovered: bool,
+    /// Whether this slice completed a full sweep: the cursor reached the
+    /// last row, the vertical stripes were verified, and the cursor
+    /// wrapped back to row 0.
+    pub wrapped: bool,
+}
+
 /// Summary of one 2D recovery invocation.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -163,6 +179,8 @@ pub struct TwoDArray {
     /// Second reusable row-width scratch: the XOR delta of a write (or
     /// the fully rebuilt row for line-granular writes).
     scratch_aux: Bits,
+    /// Next row an incremental scrub slice will scan (wraps at `rows`).
+    scrub_cursor: usize,
     /// When true, recovery remaps cells whose repair does not stick
     /// (stuck-at hard faults) to spares, mirroring BISR hardware.
     bisr_remap: bool,
@@ -214,6 +232,7 @@ impl TwoDArray {
             stats: EngineStats::default(),
             scratch_row: Bits::zeros(cols),
             scratch_aux: Bits::zeros(cols),
+            scrub_cursor: 0,
             bisr_remap: true,
             max_iterations: 4,
         }
@@ -929,6 +948,65 @@ impl TwoDArray {
         Ok(was_clean)
     }
 
+    /// The next row an incremental scrub slice will scan.
+    pub fn scrub_cursor(&self) -> usize {
+        self.scrub_cursor
+    }
+
+    /// Incremental scrub: scans at most `max_rows` rows from the internal
+    /// cursor, checking each against its horizontal code without
+    /// allocating. Any dirty row triggers the full 2D recovery (the
+    /// paper's repair process is bank-global; only *detection* is
+    /// sliced). When the cursor reaches the last row, the vertical stripe
+    /// parities are verified too — so one complete sweep of slices gives
+    /// exactly the coverage of [`TwoDArray::scrub`] — and the cursor
+    /// wraps.
+    ///
+    /// A background scrubber uses this to sweep a bank in short
+    /// lock-bounded bursts, keeping foreground read/write latency bounded
+    /// by `max_rows` row scans instead of a whole-bank audit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Uncorrectable`] when a triggered recovery
+    /// cannot restore the damage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rows == 0`.
+    pub fn scrub_step(&mut self, max_rows: usize) -> Result<ScrubSlice, EngineError> {
+        assert!(max_rows > 0, "a scrub slice must cover at least one row");
+        let start = self.scrub_cursor;
+        let end = (start + max_rows).min(self.rows());
+        let mut slice = ScrubSlice::default();
+        for r in start..end {
+            self.load_scratch_row(r);
+            if !self.row_clean(&self.scratch_row) {
+                slice.dirty_rows += 1;
+            }
+        }
+        slice.rows_scanned = end - start;
+        self.stats.scrub_slices += 1;
+        self.stats.scrub_rows_scanned += slice.rows_scanned as u64;
+        self.stats.scrub_errors_found += slice.dirty_rows as u64;
+        let mut need_recovery = slice.dirty_rows > 0;
+        if end == self.rows() {
+            // Sweep complete: close it out with the stripe-parity check
+            // that row-granular scans cannot see (errors confined to the
+            // parity rows themselves).
+            slice.wrapped = true;
+            self.scrub_cursor = 0;
+            need_recovery |= !self.failing_stripes().is_empty();
+        } else {
+            self.scrub_cursor = end;
+        }
+        if need_recovery {
+            slice.recovered = true;
+            self.recover()?;
+        }
+        Ok(slice)
+    }
+
     /// Whether every word of a physical row stores a self-consistent
     /// codeword, checked against the precomputed clean masks.
     fn row_clean(&self, row: &Bits) -> bool {
@@ -1371,6 +1449,96 @@ mod tests {
         // the check stays valid if the layout's interleave ever changes.
         let (w, _) = bank.layout().col_to_word_bit(3);
         assert_eq!(bank.read_word(3, w).unwrap().into_data(), words[3][w]);
+    }
+
+    #[test]
+    fn scrub_step_sweeps_and_wraps() {
+        let mut bank = paper_bank();
+        let _ = fill(&mut bank, 30);
+        // 256 rows in slices of 100: 100 + 100 + 56, then wrap.
+        let s1 = bank.scrub_step(100).unwrap();
+        assert_eq!((s1.rows_scanned, s1.wrapped), (100, false));
+        assert_eq!(bank.scrub_cursor(), 100);
+        let s2 = bank.scrub_step(100).unwrap();
+        assert_eq!((s2.rows_scanned, s2.wrapped), (100, false));
+        let s3 = bank.scrub_step(100).unwrap();
+        assert_eq!((s3.rows_scanned, s3.wrapped), (56, true));
+        assert_eq!(bank.scrub_cursor(), 0);
+        let stats = bank.stats();
+        assert_eq!(stats.scrub_slices, 3);
+        assert_eq!(stats.scrub_rows_scanned, 256);
+        assert_eq!(stats.scrub_errors_found, 0);
+    }
+
+    #[test]
+    fn scrub_step_finds_and_repairs_dirty_rows() {
+        let mut bank = paper_bank();
+        let words = fill(&mut bank, 31);
+        bank.inject(ErrorShape::Cluster {
+            row: 10,
+            col: 0,
+            height: 8,
+            width: 8,
+        });
+        // The slice covering rows 0..64 sees the cluster and repairs it.
+        let slice = bank.scrub_step(64).unwrap();
+        assert_eq!(slice.dirty_rows, 8);
+        assert!(slice.recovered);
+        assert!(bank.audit());
+        assert_eq!(bank.read_word(10, 0).unwrap().into_data(), words[10][0]);
+        assert_eq!(bank.stats().scrub_errors_found, 8);
+        // Errors behind the cursor are still caught: the wrap-time
+        // stripe check (or at latest the next pass over those rows)
+        // repairs them.
+        bank.inject(ErrorShape::Single { row: 2, col: 2 });
+        let mut recovered = false;
+        for _ in 0..8 {
+            recovered = bank.scrub_step(64).unwrap().recovered;
+            if recovered {
+                break;
+            }
+        }
+        assert!(recovered, "sweep must find the error behind the cursor");
+        assert!(bank.audit());
+    }
+
+    #[test]
+    fn scrub_step_wrap_checks_stripe_parity() {
+        let mut bank = paper_bank();
+        let _ = fill(&mut bank, 32);
+        // Corrupt a parity row: no data row fails its horizontal check,
+        // so only the wrap-time stripe verification can see it.
+        let bad = Bits::ones(bank.cols());
+        bank.vparity.set_parity_row(3, bad);
+        let s1 = bank.scrub_step(128).unwrap();
+        assert!(!s1.recovered, "mid-sweep slices scan rows only");
+        let s2 = bank.scrub_step(128).unwrap();
+        assert!(s2.wrapped);
+        assert!(s2.recovered, "wrap must verify the stripes");
+        assert!(bank.audit());
+    }
+
+    #[test]
+    fn full_sweep_of_slices_equals_scrub_coverage() {
+        let mut bank = paper_bank();
+        let words = fill(&mut bank, 33);
+        bank.inject(ErrorShape::Cluster {
+            row: 200,
+            col: 40,
+            height: 16,
+            width: 16,
+        });
+        let mut slices = 0;
+        loop {
+            let s = bank.scrub_step(32).unwrap();
+            slices += 1;
+            if s.wrapped {
+                break;
+            }
+        }
+        assert_eq!(slices, 8);
+        assert!(bank.audit());
+        assert_eq!(bank.read_word(205, 2).unwrap().into_data(), words[205][2]);
     }
 
     #[test]

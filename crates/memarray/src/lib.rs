@@ -55,7 +55,8 @@ mod vertical;
 
 pub use bitgrid::BitGrid;
 pub use engine::{
-    EngineError, ReadKind, ReadOutcome, RecoveryReport, TwoDArray, TwoDConfig, WriteKind,
+    EngineError, ReadKind, ReadOutcome, RecoveryReport, ScrubSlice, TwoDArray, TwoDConfig,
+    WriteKind,
 };
 pub use faults::{ErrorShape, FaultKind, FaultMap, InjectionReport, Injector};
 pub use layout::RowLayout;

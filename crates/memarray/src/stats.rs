@@ -31,6 +31,15 @@ pub struct EngineStats {
     pub cells_remapped: u64,
     /// Scrub passes completed.
     pub scrub_passes: u64,
+    /// Incremental scrub slices completed (see
+    /// [`crate::TwoDArray::scrub_step`]).
+    pub scrub_slices: u64,
+    /// Rows scanned by incremental scrub slices.
+    pub scrub_rows_scanned: u64,
+    /// Dirty rows first discovered by a scrub slice (as opposed to a
+    /// foreground access) — the error-traffic signal an adaptive
+    /// scrubbing rate controller feeds on.
+    pub scrub_errors_found: u64,
 }
 
 impl EngineStats {
@@ -43,6 +52,51 @@ impl EngineStats {
             self.extra_reads as f64 / total as f64
         }
     }
+
+    /// Adds every counter of `other` into `self`. Aggregation paths
+    /// (e.g. summing per-bank stats) go through this single place, so a
+    /// newly added counter cannot silently be dropped from the totals.
+    pub fn merge(&mut self, other: &EngineStats) {
+        let EngineStats {
+            reads,
+            writes,
+            extra_reads,
+            silent_writes,
+            inline_corrections,
+            recoveries,
+            recovery_rows_scanned,
+            bits_recovered,
+            cells_remapped,
+            scrub_passes,
+            scrub_slices,
+            scrub_rows_scanned,
+            scrub_errors_found,
+        } = *other;
+        self.reads += reads;
+        self.writes += writes;
+        self.extra_reads += extra_reads;
+        self.silent_writes += silent_writes;
+        self.inline_corrections += inline_corrections;
+        self.recoveries += recoveries;
+        self.recovery_rows_scanned += recovery_rows_scanned;
+        self.bits_recovered += bits_recovered;
+        self.cells_remapped += cells_remapped;
+        self.scrub_passes += scrub_passes;
+        self.scrub_slices += scrub_slices;
+        self.scrub_rows_scanned += scrub_rows_scanned;
+        self.scrub_errors_found += scrub_errors_found;
+    }
+
+    /// Error events this engine has observed and handled, deduplicated
+    /// to one count per physical event: inline corrections plus full 2D
+    /// recoveries. (Dirty rows found by scrub slices are not added on
+    /// top — a scrub find always triggers a recovery, which is the event
+    /// already counted.) Monotonic; adaptive scrub controllers and the
+    /// online FIT estimator diff successive snapshots to measure live
+    /// error traffic.
+    pub fn observed_errors(&self) -> u64 {
+        self.inline_corrections + self.recoveries
+    }
 }
 
 #[cfg(test)]
@@ -52,6 +106,31 @@ mod tests {
     #[test]
     fn extra_read_fraction_zero_when_idle() {
         assert_eq!(EngineStats::default().extra_read_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = EngineStats {
+            reads: 1,
+            writes: 2,
+            extra_reads: 3,
+            silent_writes: 4,
+            inline_corrections: 5,
+            recoveries: 6,
+            recovery_rows_scanned: 7,
+            bits_recovered: 8,
+            cells_remapped: 9,
+            scrub_passes: 10,
+            scrub_slices: 11,
+            scrub_rows_scanned: 12,
+            scrub_errors_found: 13,
+        };
+        let mut total = a;
+        total.merge(&a);
+        assert_eq!(total.reads, 2);
+        assert_eq!(total.silent_writes, 8);
+        assert_eq!(total.scrub_errors_found, 26);
+        assert_eq!(total.observed_errors(), 2 * (5 + 6));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   and/or ECC-based hard-error correction (Figure 8(a));
 //! * [`FieldModel`] — FIT-based probability that a soft error combines
 //!   with a latent hard fault into an uncorrectable error (Figure 8(b));
+//! * [`OnlineRateEstimator`] — the live-telemetry bridge: streaming
+//!   FIT/MTTF estimation (with exact Poisson confidence bounds) from
+//!   error events observed by a running service;
 //! * [`montecarlo`] — fault-injection cross-validation against the
 //!   actual 2D engine in the `memarray` crate;
 //! * [`poisson`] — the numerically stable Poisson tail sums the models
@@ -30,8 +33,10 @@
 
 mod field;
 pub mod montecarlo;
+mod online;
 pub mod poisson;
 mod yield_model;
 
 pub use field::{FieldModel, HOURS_PER_YEAR};
+pub use online::{OnlineRateEstimator, ReliabilitySnapshot};
 pub use yield_model::{RepairScheme, YieldModel};

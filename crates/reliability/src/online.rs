@@ -1,0 +1,312 @@
+//! Online FIT/MTTF estimation from live error observations.
+//!
+//! The models in this crate ([`crate::FieldModel`], [`crate::YieldModel`])
+//! start from an *assumed* error rate; a running self-healing service has
+//! the opposite problem — it observes error events (inline corrections,
+//! recoveries, dirty rows found by scrub slices) and wants the rate those
+//! observations imply. [`OnlineRateEstimator`] is that bridge: feed it
+//! event counts and exposure time and it maintains the maximum-likelihood
+//! FIT estimate plus an exact Poisson upper confidence bound (meaningful
+//! even after zero observed events, where the point estimate alone would
+//! claim perfection).
+//!
+//! Exposure time is *device* time: a fault-injection campaign that
+//! compresses years of field exposure into seconds of wall clock passes
+//! an accelerated `hours` value, and the estimates read as field rates.
+
+use crate::poisson;
+use crate::FieldModel;
+
+/// Streaming estimator of an error-event rate from observed counts.
+///
+/// Events are modeled as a homogeneous Poisson process over the exposure
+/// window — the same assumption [`FieldModel`] makes — so the
+/// maximum-likelihood rate is `events / hours` and confidence bounds
+/// follow from the Poisson likelihood.
+///
+/// # Examples
+///
+/// ```
+/// use reliability::OnlineRateEstimator;
+///
+/// // 128 Mbit of cache observed for 1000 device-hours, 3 errors seen.
+/// let mut est = OnlineRateEstimator::new(128.0);
+/// est.advance_hours(1000.0);
+/// est.observe(3);
+/// assert!((est.fit() - 3e6).abs() < 1.0); // 3/1000h = 3e6 per 1e9 h
+/// assert!(est.mttf_hours().unwrap() > 300.0);
+/// // The 95% upper bound is meaningfully above the point estimate.
+/// assert!(est.fit_upper_bound(0.95) > est.fit());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OnlineRateEstimator {
+    events: u64,
+    hours: f64,
+    mbits: f64,
+}
+
+/// A point-in-time summary of an [`OnlineRateEstimator`], convenient for
+/// reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReliabilitySnapshot {
+    /// Error events observed.
+    pub events: u64,
+    /// Device-hours of exposure.
+    pub hours: f64,
+    /// Monitored capacity in megabits.
+    pub mbits: f64,
+    /// Maximum-likelihood FIT (failures per 1e9 device-hours).
+    pub fit: f64,
+    /// FIT normalized per megabit of monitored capacity.
+    pub fit_per_mbit: f64,
+    /// Mean time to failure in hours (`None` until an event is seen).
+    pub mttf_hours: Option<f64>,
+    /// 95% Poisson upper confidence bound on the FIT.
+    pub fit_upper_95: f64,
+}
+
+impl OnlineRateEstimator {
+    /// Creates an estimator monitoring `mbits` megabits of capacity with
+    /// no observations yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mbits` is not strictly positive.
+    pub fn new(mbits: f64) -> Self {
+        assert!(mbits > 0.0, "monitored capacity must be positive");
+        OnlineRateEstimator {
+            events: 0,
+            hours: 0.0,
+            mbits,
+        }
+    }
+
+    /// Records `n` more observed error events.
+    pub fn observe(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Extends the exposure window by `hours` device-hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours` is negative or non-finite.
+    pub fn advance_hours(&mut self, hours: f64) {
+        assert!(
+            hours.is_finite() && hours >= 0.0,
+            "exposure must advance by a finite, non-negative amount"
+        );
+        self.hours += hours;
+    }
+
+    /// Total events observed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total exposure in device-hours.
+    pub fn hours(&self) -> f64 {
+        self.hours
+    }
+
+    /// Maximum-likelihood event rate per device-hour (0 before any
+    /// exposure).
+    pub fn rate_per_hour(&self) -> f64 {
+        if self.hours <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / self.hours
+        }
+    }
+
+    /// Maximum-likelihood FIT: failures per 1e9 device-hours.
+    pub fn fit(&self) -> f64 {
+        self.rate_per_hour() * 1e9
+    }
+
+    /// FIT normalized per megabit of the monitored capacity — directly
+    /// comparable to the paper's 1000 FIT/Mb soft-error assumption.
+    pub fn fit_per_mbit(&self) -> f64 {
+        self.fit() / self.mbits
+    }
+
+    /// Maximum-likelihood mean time to failure in device-hours, or
+    /// `None` while no event has been observed (the MLE would be
+    /// infinite).
+    pub fn mttf_hours(&self) -> Option<f64> {
+        if self.events == 0 || self.hours <= 0.0 {
+            None
+        } else {
+            Some(self.hours / self.events as f64)
+        }
+    }
+
+    /// Exact one-sided Poisson upper confidence bound on the FIT at the
+    /// given confidence level (e.g. `0.95`): the largest rate still
+    /// consistent with having seen this few events, i.e. the rate `r`
+    /// where `P(X <= events | r * hours) = 1 - confidence`.
+    ///
+    /// Unlike the point estimate this stays informative at zero events:
+    /// `-ln(1 - confidence) / hours`, the classic "rule of three"
+    /// generalization. Returns infinity while exposure is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is outside `(0, 1)`.
+    pub fn rate_upper_bound(&self, confidence: f64) -> f64 {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
+        if self.hours <= 0.0 {
+            return f64::INFINITY;
+        }
+        let alpha = 1.0 - confidence;
+        // poisson::cdf(k, mu) is continuous and strictly decreasing in
+        // mu, so bisect mu in [events, upper] where the bracket upper
+        // bound grows until the cdf drops below alpha.
+        let k = self.events;
+        let mut lo = k as f64;
+        let mut hi = (k as f64 + 1.0) * 4.0;
+        while poisson::cdf(k, hi) > alpha {
+            hi *= 2.0;
+        }
+        for _ in 0..128 {
+            let mid = 0.5 * (lo + hi);
+            if poisson::cdf(k, mid) > alpha {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) < 1e-12 * hi.max(1.0) {
+                break;
+            }
+        }
+        0.5 * (lo + hi) / self.hours
+    }
+
+    /// [`OnlineRateEstimator::rate_upper_bound`] expressed in FIT.
+    pub fn fit_upper_bound(&self, confidence: f64) -> f64 {
+        self.rate_upper_bound(confidence) * 1e9
+    }
+
+    /// Projects the observed rate through an existing [`FieldModel`]
+    /// template: the template keeps its system geometry (cache count,
+    /// capacity, block size, hard-error rate) but its assumed soft-error
+    /// rate is replaced by the measured `fit_per_mbit`. This is how a
+    /// live service turns its own error telemetry into the paper's
+    /// Figure 8(b)-style survival projections.
+    pub fn project_field_model(&self, template: FieldModel) -> FieldModel {
+        FieldModel {
+            fit_per_mbit: self.fit_per_mbit(),
+            ..template
+        }
+    }
+
+    /// A point-in-time summary of the estimator.
+    pub fn snapshot(&self) -> ReliabilitySnapshot {
+        ReliabilitySnapshot {
+            events: self.events,
+            hours: self.hours,
+            mbits: self.mbits,
+            fit: self.fit(),
+            fit_per_mbit: self.fit_per_mbit(),
+            mttf_hours: self.mttf_hours(),
+            fit_upper_95: self.fit_upper_bound(0.95),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mle_rate_and_fit() {
+        let mut est = OnlineRateEstimator::new(64.0);
+        est.advance_hours(500.0);
+        est.observe(2);
+        assert!((est.rate_per_hour() - 0.004).abs() < 1e-12);
+        assert!((est.fit() - 4e6).abs() < 1e-3);
+        assert!((est.fit_per_mbit() - 4e6 / 64.0).abs() < 1e-3);
+        assert_eq!(est.mttf_hours(), Some(250.0));
+    }
+
+    #[test]
+    fn zero_exposure_is_safe() {
+        let est = OnlineRateEstimator::new(1.0);
+        assert_eq!(est.fit(), 0.0);
+        assert_eq!(est.mttf_hours(), None);
+        assert!(est.rate_upper_bound(0.95).is_infinite());
+    }
+
+    #[test]
+    fn zero_events_rule_of_three() {
+        // With 0 events over T hours, the exact 95% UCL is -ln(0.05)/T
+        // ~ 2.996/T ("rule of three").
+        let mut est = OnlineRateEstimator::new(1.0);
+        est.advance_hours(100.0);
+        let ucl = est.rate_upper_bound(0.95);
+        assert!((ucl - (-(0.05f64.ln())) / 100.0).abs() < 1e-6, "got {ucl}");
+        assert_eq!(est.mttf_hours(), None);
+    }
+
+    #[test]
+    fn upper_bound_above_mle_and_tightens_with_exposure() {
+        let mut a = OnlineRateEstimator::new(1.0);
+        a.advance_hours(100.0);
+        a.observe(5);
+        assert!(a.rate_upper_bound(0.95) > a.rate_per_hour());
+        // Same rate, 10x the evidence: the bound tightens toward the MLE.
+        let mut b = OnlineRateEstimator::new(1.0);
+        b.advance_hours(1000.0);
+        b.observe(50);
+        let slack_a = a.rate_upper_bound(0.95) / a.rate_per_hour();
+        let slack_b = b.rate_upper_bound(0.95) / b.rate_per_hour();
+        assert!(slack_b < slack_a, "{slack_b} !< {slack_a}");
+    }
+
+    #[test]
+    fn upper_bound_inverts_poisson_cdf() {
+        let mut est = OnlineRateEstimator::new(1.0);
+        est.advance_hours(10.0);
+        est.observe(7);
+        let r = est.rate_upper_bound(0.90);
+        let cdf = poisson::cdf(7, r * 10.0);
+        assert!((cdf - 0.10).abs() < 1e-6, "cdf at bound: {cdf}");
+    }
+
+    #[test]
+    fn higher_confidence_is_looser() {
+        let mut est = OnlineRateEstimator::new(1.0);
+        est.advance_hours(10.0);
+        est.observe(1);
+        assert!(est.rate_upper_bound(0.99) > est.rate_upper_bound(0.90));
+    }
+
+    #[test]
+    fn field_model_projection_swaps_only_the_rate() {
+        let mut est = OnlineRateEstimator::new(1280.0);
+        est.advance_hours(1e6);
+        est.observe(1280);
+        let template = FieldModel::paper_system(0.001e-2);
+        let projected = est.project_field_model(template);
+        assert_eq!(projected.caches, template.caches);
+        assert_eq!(projected.her, template.her);
+        // 1280 events / 1e6 h = 1.28e-3/h = 1.28e6 FIT over 1280 Mbit
+        // = 1000 FIT/Mbit — the paper's assumed rate.
+        assert!((projected.fit_per_mbit - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let mut est = OnlineRateEstimator::new(8.0);
+        est.advance_hours(50.0);
+        est.observe(4);
+        let snap = est.snapshot();
+        assert_eq!(snap.events, 4);
+        assert_eq!(snap.hours, 50.0);
+        assert_eq!(snap.mttf_hours, Some(12.5));
+        assert!(snap.fit_upper_95 > snap.fit);
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline, compile-surface stub of `serde`.
+//!
+//! The build environment has no network access to crates.io, so —
+//! matching the other `vendor/` crates — this vendors exactly the slice
+//! of serde the workspace touches: the `Serialize` / `Deserialize`
+//! *names*, usable both as derive macros and as trait bounds. The
+//! traits are markers and the derives (see `vendor/serde_derive`) emit
+//! marker impls; no actual serialization is provided or pretended.
+//!
+//! Purpose: the workspace gates serde support behind a real cargo
+//! feature (`ecc/serde`, `twod_cache/serde`, `cachesim/serde`) and CI's
+//! feature-matrix job compiles and tests with it enabled, so the gated
+//! `#[cfg_attr(feature = "serde", ...)]` sites cannot silently rot. If
+//! registry access ever appears, pointing the workspace `serde` entry
+//! at the real crate (with the `derive` feature) is the only change
+//! needed.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (see the crate docs).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (see the crate docs). The
+/// `'de` lifetime matches the real trait's shape, so bounds written
+/// against the stub (e.g. `for<'de> Deserialize<'de>`) keep compiling
+/// unchanged when the real crate replaces it.
+pub trait Deserialize<'de> {}

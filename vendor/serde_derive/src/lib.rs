@@ -1,0 +1,65 @@
+//! Offline stub of the `serde_derive` proc macros.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *compile surface* of serde (see
+//! `vendor/serde`): the traits are markers and these derives emit
+//! marker impls. That keeps every `#[cfg_attr(feature = "serde",
+//! derive(serde::Serialize, serde::Deserialize))]` site honest — the
+//! feature-matrix CI job builds with the feature enabled, so gated
+//! attributes cannot rot — without pretending to implement real
+//! serialization. If registry access ever appears, swapping the
+//! workspace `serde` entry for the real crate is the only change
+//! needed.
+//!
+//! Parsing is deliberately minimal (no `syn`): the derive scans the
+//! item's tokens for the `struct`/`enum` keyword and the following type
+//! name. Generic types get an empty expansion instead of a marker impl
+//! — none of the workspace's gated types are generic.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Returns the derived type's name, or `None` when the item is generic
+/// (or unexpectedly shaped), in which case the derive expands to
+/// nothing.
+fn plain_type_name(input: TokenStream) -> Option<String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(ident) = tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    _ => return None,
+                };
+                let generic = matches!(
+                    iter.peek(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                );
+                return if generic { None } else { Some(name) };
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(impl_header: &str, input: TokenStream) -> TokenStream {
+    match plain_type_name(input) {
+        Some(name) => format!("{impl_header} {name} {{}}")
+            .parse()
+            .expect("marker impl must parse"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Stub `#[derive(Serialize)]`: implements the vendored marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("impl ::serde::Serialize for", input)
+}
+
+/// Stub `#[derive(Deserialize)]`: implements the vendored marker trait
+/// (with the real trait's `'de` lifetime shape).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("impl<'de> ::serde::Deserialize<'de> for", input)
+}
