@@ -162,7 +162,7 @@ fn owner_of_line(line: u64, threads: usize) -> usize {
 
 /// Generates worker `thread`'s operation stream for `cfg`.
 /// Deterministic in `(cfg.seed, thread)`. Writes target only lines the
-/// thread owns under [`owner_of_line`]; reads target any line.
+/// thread owns under `owner_of_line`; reads target any line.
 pub fn generate_ops(cfg: &TrafficConfig, thread: usize) -> Vec<Op> {
     assert!(cfg.threads >= 1, "need at least one worker");
     assert!(

@@ -390,6 +390,12 @@ pub struct CampaignTiming {
     /// triggered no recovery (`scrub_row_scan_ns * scrub_clean_rows ==`
     /// total clean lock-held nanoseconds).
     pub scrub_clean_rows: u64,
+    /// Foreground reads served by the seqlock optimistic fast path
+    /// (lock-free; see `docs/CONCURRENCY.md`). Timing-class telemetry
+    /// because the split depends on scheduling: a reader that loses the
+    /// race falls back to the locked path and still returns the same
+    /// value, so the deterministic [`CampaignOutcome`] never sees it.
+    pub optimistic_reads: u64,
 }
 
 /// Complete result of [`run_campaign`].
@@ -612,6 +618,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         scrub_row_scan_ns,
         scrub_rows_scanned,
         scrub_clean_rows,
+        optimistic_reads: cache.optimistic_hits(),
     };
     if let Some(s) = scrubber {
         s.stop();

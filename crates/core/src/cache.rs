@@ -53,7 +53,7 @@ impl CacheConfig {
 }
 
 /// Tag entry width: 48-bit tag + valid + dirty bits.
-const TAG_ENTRY_BITS: usize = 50;
+pub(crate) const TAG_ENTRY_BITS: usize = 50;
 /// Stack-buffer capacity for line-granular row operations; interleave
 /// degrees beyond this (none of the paper's schemes) fall back to
 /// per-word accesses.
@@ -61,6 +61,66 @@ const MAX_INTERLEAVE: usize = 8;
 /// Words of `data_bits` per line (64B lines).
 const fn words_per_line(data_bits: usize) -> usize {
     LINE_BYTES * 8 / data_bits
+}
+
+/// The pure address arithmetic of a [`ProtectedCache`]: how a byte
+/// address splits into (set, tag, word) and where a logical word lives
+/// inside the interleaved data/tag arrays. Extracted from the cache so
+/// the optimistic read path in [`crate::ConcurrentBankedCache`] computes
+/// coordinates from a `Copy` snapshot without borrowing any bank — the
+/// cache's own accessors delegate here, keeping one source of truth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct CacheGeometry {
+    pub(crate) sets: usize,
+    pub(crate) ways: usize,
+    pub(crate) data_bits: usize,
+    pub(crate) data_interleave: usize,
+    pub(crate) tag_interleave: usize,
+}
+
+impl CacheGeometry {
+    pub(crate) fn new(config: &CacheConfig) -> Self {
+        CacheGeometry {
+            sets: config.sets,
+            ways: config.ways,
+            data_bits: config.data_scheme.data_bits,
+            data_interleave: config.data_scheme.interleave,
+            tag_interleave: config.tag_scheme.interleave,
+        }
+    }
+
+    /// Splits a byte address into (set, tag, 64-bit-word-in-line).
+    pub(crate) fn split(&self, addr: u64) -> (usize, u64, usize) {
+        let line = addr / LINE_BYTES as u64;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let word_in_line = (addr as usize % LINE_BYTES) / 8;
+        (set, tag, word_in_line)
+    }
+
+    /// Data-array coordinates of `(set, way, word64)`: the (row, word
+    /// slot, bit offset) storing the 64-bit word. The data array stores
+    /// `data_bits`-bit words; a 64-bit word maps into one of them.
+    pub(crate) fn data_coords(
+        &self,
+        set: usize,
+        way: usize,
+        word64: usize,
+    ) -> (usize, usize, usize) {
+        let bits = self.data_bits;
+        let sub = 64 * word64 % bits; // bit offset inside the stored word
+        let wpl = words_per_line(bits);
+        let word_index = (set * self.ways + way) * wpl + (word64 * 64 / bits);
+        let row = word_index / self.data_interleave;
+        let slot = word_index % self.data_interleave;
+        (row, slot, sub)
+    }
+
+    /// Tag-array coordinates (row, word slot) of `(set, way)`.
+    pub(crate) fn tag_coords(&self, set: usize, way: usize) -> (usize, usize) {
+        let idx = set * self.ways + way;
+        (idx / self.tag_interleave, idx % self.tag_interleave)
+    }
 }
 
 /// Statistics of a protected cache.
@@ -363,37 +423,26 @@ impl ProtectedCache {
 
     // ---- internals -----------------------------------------------------
 
+    /// The `Copy` address-arithmetic snapshot of this cache (see
+    /// [`CacheGeometry`]).
+    pub(crate) fn geometry(&self) -> CacheGeometry {
+        CacheGeometry::new(&self.config)
+    }
+
     fn split(&self, addr: u64) -> (usize, u64, usize) {
-        let line = addr / LINE_BYTES as u64;
-        let set = (line % self.config.sets as u64) as usize;
-        let tag = line / self.config.sets as u64;
-        let word_in_line = (addr as usize % LINE_BYTES) / 8;
-        (set, tag, word_in_line)
+        self.geometry().split(addr)
     }
 
     fn line_addr(&self, set: usize, tag: u64) -> u64 {
         (tag * self.config.sets as u64 + set as u64) * LINE_BYTES as u64
     }
 
-    /// Data-array coordinates of `(set, way, word64)`: which row/word
-    /// slot stores the 64-bit word. The data array stores
-    /// `data_bits`-bit words; a 64-bit word maps into one of them.
     fn data_coords(&self, set: usize, way: usize, word64: usize) -> (usize, usize, usize) {
-        let bits = self.config.data_scheme.data_bits;
-        let sub = 64 * word64 % bits; // bit offset inside the stored word
-        let wpl = words_per_line(bits);
-        let word_index = (set * self.config.ways + way) * wpl + (word64 * 64 / bits);
-        let row = word_index / self.config.data_scheme.interleave;
-        let slot = word_index % self.config.data_scheme.interleave;
-        (row, slot, sub)
+        self.geometry().data_coords(set, way, word64)
     }
 
     fn tag_coords(&self, set: usize, way: usize) -> (usize, usize) {
-        let idx = set * self.config.ways + way;
-        (
-            idx / self.config.tag_scheme.interleave,
-            idx % self.config.tag_scheme.interleave,
-        )
+        self.geometry().tag_coords(set, way)
     }
 
     fn read_tag(&mut self, set: usize, way: usize) -> Result<TagEntry, EngineError> {
@@ -593,10 +642,10 @@ impl fmt::Debug for ProtectedCache {
 
 /// Decoded tag-array entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct TagEntry {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+pub(crate) struct TagEntry {
+    pub(crate) tag: u64,
+    pub(crate) valid: bool,
+    pub(crate) dirty: bool,
 }
 
 impl TagEntry {
@@ -610,7 +659,7 @@ impl TagEntry {
     }
 
     /// Decodes the packed 50-bit form used by the u64 tag fast lane.
-    fn from_u64(raw: u64) -> Self {
+    pub(crate) fn from_u64(raw: u64) -> Self {
         TagEntry {
             tag: raw & ((1u64 << 48) - 1),
             valid: (raw >> 48) & 1 == 1,

@@ -23,6 +23,16 @@
 //! so a running service can report the FIT/MTTF its own telemetry
 //! implies (with exact Poisson confidence bounds) instead of a datasheet
 //! assumption.
+//!
+//! ## Interaction with the optimistic read path
+//!
+//! Each scrub slice runs under [`ConcurrentBankedCache::lock_bank`], so
+//! it sequences as a *seqlock writer*: the per-bank generation counter
+//! goes odd for the duration of the slice and any optimistic reader that
+//! overlaps it falls back to the locked path (see `docs/CONCURRENCY.md`).
+//! A slice that repairs cells therefore can never be half-observed by a
+//! lock-free reader — scrubbing needs no extra coordination beyond the
+//! bank lock it already takes.
 
 use crate::ConcurrentBankedCache;
 use memarray::EngineError;
@@ -530,6 +540,11 @@ mod tests {
         // No foreground access touches bank 2: only the scrubber can
         // repair it.
         wait_for("scrubber to repair bank 2", || cache.lock_bank(2).audit());
+        // A worker merges its round into the shared stats only after
+        // finishing the whole round, so the repair can be visible in the
+        // bank before it is visible in the counters — wait for the
+        // accounting instead of racing it.
+        wait_for("repair to be accounted", || scrubber.stats().repairs >= 1);
         let stats = scrubber.stats();
         assert!(stats.repairs >= 1, "{stats:?}");
         assert!(stats.slices > 0);
@@ -595,6 +610,12 @@ mod tests {
             cache.inject_bank_error(0, ErrorShape::Single { row: 2, col: 3 });
             wait_for("repair", || cache.lock_bank(0).audit());
         }
+        // The repairing worker ticks telemetry only after finishing its
+        // round, so the last event can trail the repair itself — wait
+        // for the accounting instead of racing it.
+        wait_for("telemetry to account 3 events", || {
+            scrubber.reliability().events >= 3
+        });
         let snap = scrubber.reliability();
         assert!(snap.events >= 3, "{snap:?}");
         assert!(snap.hours > 0.0);

@@ -149,6 +149,25 @@ impl BitGrid {
         }
     }
 
+    /// Limbs of storage per row (rows are padded to a limb boundary, so
+    /// this is `cols().div_ceil(64)`).
+    pub fn limbs_per_row(&self) -> usize {
+        self.limbs_per_row
+    }
+
+    /// Raw pointer to the first limb of the row-major storage. Row `r`
+    /// starts at offset `r * limbs_per_row()`.
+    ///
+    /// The backing `Vec<u64>` is sized once at construction and never
+    /// reallocated by any `BitGrid` operation (`set_row` / `xor_row` /
+    /// `set` all mutate in place), so the pointer stays valid for the
+    /// grid's whole lifetime even if the owning struct moves. This is the
+    /// stability guarantee the optimistic read probe
+    /// ([`crate::ArrayProbe`]) relies on.
+    pub(crate) fn limb_base(&self) -> *const u64 {
+        self.data.as_ptr()
+    }
+
     /// Total number of set cells.
     pub fn count_ones(&self) -> usize {
         self.data.iter().map(|l| l.count_ones() as usize).sum()

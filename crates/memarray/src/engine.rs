@@ -302,6 +302,22 @@ impl TwoDArray {
         &self.faults
     }
 
+    /// Captures a borrow-free, verify-only window onto this bank's cell
+    /// grid for seqlock-style optimistic readers. See [`ArrayProbe`] for
+    /// the full contract; in short, the probe stays valid for the bank's
+    /// whole lifetime (the grid's limb buffer is never reallocated), but
+    /// values it returns are only trustworthy once the caller's sequence
+    /// validation proves no writer ran concurrently.
+    pub fn probe(&self) -> ArrayProbe {
+        ArrayProbe {
+            scheme: Arc::clone(&self.scheme),
+            base: self.grid.limb_base(),
+            limbs_per_row: self.grid.limbs_per_row(),
+            rows: self.grid.rows(),
+            words_per_row: self.scheme.layout().interleave(),
+        }
+    }
+
     /// Reads a physical row through the stuck-at overlay.
     fn read_row_raw(&self, row: usize) -> Bits {
         let mut bits = self.grid.row(row);
@@ -1197,6 +1213,229 @@ impl fmt::Debug for TwoDArray {
             self.words_per_row(),
             self.hcode().name(),
             self.vparity.interleave()
+        )
+    }
+}
+
+/// Widest row (in limbs) the probe's stack snapshot covers. Rows wider
+/// than this make [`ArrayProbe::peek_word_u64`] return `None` — every
+/// paper configuration (288-col data rows, 232-col tag rows, 544-col L2
+/// rows) fits with room to spare.
+pub const PROBE_MAX_ROW_LIMBS: usize = 16;
+
+/// A borrow-free, verify-only window onto one bank's cell grid — the
+/// reader half of a seqlock optimistic-read protocol.
+///
+/// A probe is captured once from a live [`TwoDArray`]
+/// ([`TwoDArray::probe`]) and then used from threads that do **not**
+/// hold any borrow of the array: [`ArrayProbe::peek_word_u64`] snapshots
+/// one row's limbs with relaxed atomic loads, checks the word's clean
+/// masks against the snapshot, and extracts the data bits — no
+/// allocation, no stats, no mutation, no reference into the racing
+/// storage is ever formed.
+///
+/// # What the probe does *not* guarantee
+///
+/// A peek can race a writer mutating the same row under its lock. The
+/// snapshot may then mix old and new limbs ("torn"). Torn data is
+/// *memory-safe* here — every index the probe uses derives from
+/// construction-time geometry, never from loaded cell content — but the
+/// returned value is garbage. The caller **must** sandwich the peek in a
+/// sequence-counter validation (snapshot an even sequence before,
+/// confirm it unchanged after) and discard the value otherwise; see
+/// `docs/CONCURRENCY.md` for the full protocol and its happens-before
+/// argument.
+///
+/// The probe also bypasses the stuck-at fault overlay
+/// ([`TwoDArray::fault_map`]) — a raw limb snapshot cannot consult the
+/// `BTreeMap` lock-free. Callers must keep a "hard faults present" hint
+/// alongside the sequence counter and stop peeking while the overlay is
+/// nonempty; `twod_cache`'s concurrent service does exactly that.
+///
+/// # Safety contract
+///
+/// `peek_word_u64` is `unsafe` because the probe holds a raw pointer to
+/// the grid's limb buffer: the caller must guarantee the originating
+/// [`TwoDArray`] is still alive (not dropped) at every call. The pointer
+/// itself stays valid for the array's whole lifetime — the grid's
+/// backing `Vec<u64>` is sized at construction and never reallocated by
+/// any operation, so moving the owning struct does not move the heap
+/// buffer.
+///
+/// # Examples
+///
+/// ```
+/// use ecc::CodeKind;
+/// use memarray::{TwoDArray, TwoDConfig};
+///
+/// let mut bank = TwoDArray::new(TwoDConfig {
+///     rows: 64,
+///     horizontal: CodeKind::Edc(8),
+///     data_bits: 64,
+///     interleave: 4,
+///     vertical_rows: 16,
+/// });
+/// bank.try_write_word_u64(3, 1, 0, 0xBEEF, 64);
+/// let probe = bank.probe();
+/// // Quiescent bank, no concurrent writer: the peek is immediately
+/// // trustworthy. Under contention a seqlock validation is required.
+/// let v = unsafe { probe.peek_word_u64(3, 1, 0, 64) };
+/// assert_eq!(v, Some(0xBEEF));
+/// ```
+pub struct ArrayProbe {
+    /// Keeps the clean masks / layout alive independently of the array.
+    scheme: Arc<BankScheme>,
+    /// First limb of the grid's row-major storage (never reallocated).
+    base: *const u64,
+    limbs_per_row: usize,
+    rows: usize,
+    words_per_row: usize,
+}
+
+// SAFETY: the probe is an immutable bundle of geometry plus a raw
+// pointer used only for relaxed atomic loads; all synchronization
+// obligations are pushed onto the caller's seqlock (see type docs).
+unsafe impl Send for ArrayProbe {}
+unsafe impl Sync for ArrayProbe {}
+
+impl ArrayProbe {
+    /// Snapshots row `row` with relaxed atomic limb loads and, when word
+    /// `word` checks clean against the snapshot, extracts `width` data
+    /// bits at `bit_offset`. Returns `None` when the word fails its
+    /// horizontal check (possibly due to a torn snapshot — either way
+    /// the caller falls back to the locked path) or when the row is
+    /// wider than [`PROBE_MAX_ROW_LIMBS`] limbs.
+    ///
+    /// # Safety
+    ///
+    /// The [`TwoDArray`] this probe was captured from must still be
+    /// alive. Concurrent writers are allowed — that is the point — but
+    /// the returned value is only trustworthy after the caller's
+    /// sequence validation (see the type-level docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`word` are out of range or the bit window falls
+    /// outside the word's data bits. Never panics *because of* racing
+    /// writes: all bounds derive from construction-time geometry.
+    pub unsafe fn peek_word_u64(
+        &self,
+        row: usize,
+        word: usize,
+        bit_offset: usize,
+        width: usize,
+    ) -> Option<u64> {
+        let mut snapshot = [0u64; PROBE_MAX_ROW_LIMBS];
+        let limbs = self.snapshot_row(row, &mut snapshot)?;
+        assert!(word < self.words_per_row, "word {word} out of range");
+        if !self.scheme.word_clean_limbs(limbs, word) {
+            return None;
+        }
+        Some(
+            self.scheme
+                .layout()
+                .extract_data_u64_from_limbs(limbs, word, bit_offset, width),
+        )
+    }
+
+    /// Snapshots row `row` into `buf` with relaxed atomic limb loads and
+    /// returns the row's occupied prefix of `buf`. Returns `None` when
+    /// the row is wider than [`PROBE_MAX_ROW_LIMBS`] limbs or (on exotic
+    /// targets) `AtomicU64` is not layout-compatible with `u64` — the
+    /// optimistic lane is unavailable and callers take the locked path.
+    ///
+    /// Separating the snapshot from [`Self::word_clean_in`] /
+    /// [`Self::extract_in`] lets a caller amortize one row snapshot over
+    /// several words (a set's tag entries share a row) and defer the
+    /// clean-mask verification until a word is actually going to be
+    /// trusted — the seqlock fast path extracts every way's tag
+    /// unverified, then verifies only the matching way.
+    ///
+    /// # Safety
+    ///
+    /// The [`TwoDArray`] this probe was captured from must still be
+    /// alive. Concurrent writers may tear the snapshot; the caller's
+    /// sequence validation decides whether anything derived from it may
+    /// be kept (see the type-level docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub unsafe fn snapshot_row<'a>(
+        &self,
+        row: usize,
+        buf: &'a mut [u64; PROBE_MAX_ROW_LIMBS],
+    ) -> Option<&'a [u64]> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        assert!(row < self.rows, "row {row} out of range");
+        if self.limbs_per_row > PROBE_MAX_ROW_LIMBS
+            || std::mem::size_of::<AtomicU64>() != std::mem::size_of::<u64>()
+            || std::mem::align_of::<AtomicU64>() != std::mem::align_of::<u64>()
+        {
+            return None;
+        }
+        let base = self.base.add(row * self.limbs_per_row);
+        for (i, limb) in buf.iter_mut().take(self.limbs_per_row).enumerate() {
+            // SAFETY (of the cast): AtomicU64 has the same size and
+            // alignment as u64 (checked above) and the grid's limbs are
+            // only ever touched as whole u64s. Relaxed is enough — the
+            // caller's acquire fence after the probes orders the loads
+            // against the sequence re-check.
+            *limb = (*(base.add(i) as *const AtomicU64)).load(Ordering::Relaxed);
+        }
+        Some(&buf[..self.limbs_per_row])
+    }
+
+    /// Whether word `word` passes its horizontal clean check against a
+    /// row snapshot previously taken with [`Self::snapshot_row`] on this
+    /// probe. A `false` may mean real damage or a torn snapshot; either
+    /// way the caller falls back to the locked path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range or `limbs` is shorter than the
+    /// probe's row width.
+    pub fn word_clean_in(&self, limbs: &[u64], word: usize) -> bool {
+        assert!(word < self.words_per_row, "word {word} out of range");
+        self.scheme.word_clean_limbs(limbs, word)
+    }
+
+    /// Extracts `width` data bits at `bit_offset` of word `word` from a
+    /// row snapshot previously taken with [`Self::snapshot_row`] on this
+    /// probe, **without** any clean check: the caller decides whether
+    /// (and when) to pay for [`Self::word_clean_in`]. Extracting
+    /// unverified bits is sound as long as acting on them is gated on
+    /// verification or on a fallback that re-reads under the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range, the bit window falls outside
+    /// the word's data bits, or `limbs` is shorter than the probe's row
+    /// width.
+    pub fn extract_in(&self, limbs: &[u64], word: usize, bit_offset: usize, width: usize) -> u64 {
+        assert!(word < self.words_per_row, "word {word} out of range");
+        self.scheme
+            .layout()
+            .extract_data_u64_from_limbs(limbs, word, bit_offset, width)
+    }
+
+    /// Number of data rows of the underlying bank.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Words per row (the interleave degree) of the underlying bank.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+}
+
+impl fmt::Debug for ArrayProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ArrayProbe({} rows x {} limbs/row, {} words/row)",
+            self.rows, self.limbs_per_row, self.words_per_row
         )
     }
 }

@@ -329,13 +329,38 @@ impl RowLayout {
         width: usize,
     ) -> u64 {
         assert_eq!(row.len(), self.row_cols(), "row width mismatch");
+        self.extract_data_u64_from_limbs(row.as_limbs(), word, bit_offset, width)
+    }
+
+    /// The limb-slice core of [`RowLayout::extract_data_u64`]: extracts
+    /// the data window of word `word` from a raw limb snapshot of one
+    /// physical row. The slice must hold the full row
+    /// (`row_cols().div_ceil(64)` limbs); extra limbs and nonzero bits
+    /// beyond `row_cols()` are ignored. Exists so a caller that only has
+    /// a stack copy of the row limbs — the optimistic read probe, which
+    /// must not materialize a `Bits` — can extract without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit range falls outside the word's data bits
+    /// (`width` must be `1..=64`) or the slice is shorter than the row.
+    pub fn extract_data_u64_from_limbs(
+        &self,
+        limbs: &[u64],
+        word: usize,
+        bit_offset: usize,
+        width: usize,
+    ) -> u64 {
         assert!(word < self.interleave, "word {word} out of range");
         assert!(
             (1..=64).contains(&width) && bit_offset + width <= self.data_bits,
             "u64 window {bit_offset}+{width} outside {} data bits",
             self.data_bits
         );
-        let limbs = row.as_limbs();
+        assert!(
+            limbs.len() >= self.row_cols().div_ceil(64),
+            "limb snapshot shorter than one row"
+        );
         if fast_stride(self.interleave) {
             return gather_span(
                 limbs,

@@ -55,8 +55,8 @@ mod vertical;
 
 pub use bitgrid::BitGrid;
 pub use engine::{
-    EngineError, ReadKind, ReadOutcome, RecoveryReport, ScrubSlice, TwoDArray, TwoDConfig,
-    WriteKind,
+    ArrayProbe, EngineError, ReadKind, ReadOutcome, RecoveryReport, ScrubSlice, TwoDArray,
+    TwoDConfig, WriteKind, PROBE_MAX_ROW_LIMBS,
 };
 pub use faults::{ErrorShape, FaultKind, FaultMap, InjectionReport, Injector};
 pub use layout::RowLayout;

@@ -56,6 +56,12 @@ pub struct BankScheme {
     /// cleanliness with limb AND+popcount instead of per-bit extraction
     /// and a full decode.
     clean_masks: Vec<Bits>,
+    /// Nonzero limb range `[lo, hi)` of each clean mask, index-aligned
+    /// with `clean_masks`. An interleaved check equation touches a
+    /// handful of neighbouring columns, so its mask is nonzero in only
+    /// one or two of a row's limbs; the spans let the hot verify loops
+    /// skip the all-zero remainder.
+    clean_mask_spans: Vec<(u16, u16)>,
     /// All physical columns (data + check) belonging to each word, used
     /// for limb-level column-intersection during column-mode recovery.
     word_col_masks: Vec<Bits>,
@@ -126,11 +132,21 @@ impl BankScheme {
                 .map(|row| row.as_limbs().first().copied().unwrap_or(0))
                 .collect()
         });
+        let clean_mask_spans = clean_masks
+            .iter()
+            .map(|mask| {
+                let limbs = mask.as_limbs();
+                let lo = limbs.iter().position(|&l| l != 0).unwrap_or(0);
+                let hi = limbs.iter().rposition(|&l| l != 0).map_or(0, |i| i + 1);
+                (lo as u16, hi as u16)
+            })
+            .collect();
         BankScheme {
             config,
             hcode,
             layout,
             clean_masks,
+            clean_mask_spans,
             word_col_masks,
             check_masks_u64,
             inline_correct,
@@ -202,6 +218,40 @@ impl BankScheme {
         self.clean_masks[word * cb..(word + 1) * cb]
             .iter()
             .all(|mask| !row.masked_parity(mask))
+    }
+
+    /// [`BankScheme::word_clean`] over a raw limb snapshot of one
+    /// physical row instead of a `Bits`. The slice must hold the full row
+    /// (`cols().div_ceil(64)` limbs); the clean masks are zero in their
+    /// padding bits, so any garbage beyond `cols()` in the snapshot is
+    /// masked out. This is the verification step of the optimistic read
+    /// probe, which works on stack copies of row limbs and must not
+    /// allocate or borrow the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is shorter than one row or `word` is out of
+    /// range.
+    #[inline]
+    pub fn word_clean_limbs(&self, limbs: &[u64], word: usize) -> bool {
+        let cb = self.hcode.check_bits();
+        let base = word * cb;
+        assert!(
+            limbs.len() * 64 >= self.layout.row_cols(),
+            "limb snapshot too short"
+        );
+        self.clean_masks[base..base + cb]
+            .iter()
+            .zip(&self.clean_mask_spans[base..base + cb])
+            .all(|(mask, &(lo, hi))| {
+                let mask_limbs = mask.as_limbs();
+                let mut acc = 0u64;
+                // Only the mask's nonzero limb span contributes parity.
+                for i in lo as usize..hi as usize {
+                    acc ^= limbs[i] & mask_limbs[i];
+                }
+                acc.count_ones().is_multiple_of(2)
+            })
     }
 
     /// Whether every word of a physical row stores a self-consistent

@@ -213,7 +213,7 @@ impl IntoSizeRange for RangeInclusive<usize> {
 pub mod collection {
     use super::{IntoSizeRange, Strategy, TestRng};
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Clone, Copy, Debug)]
     pub struct VecStrategy<S, L> {
         element: S,
