@@ -25,6 +25,7 @@
 //! actual gate.
 
 use bench::bench_json::{self, BenchRow};
+use cachesim::net::{run_net_chaos, NetChaosConfig};
 use cachesim::{run_campaign, CampaignConfig, CampaignReport};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -59,6 +60,7 @@ fn bench_rows_json(report: &CampaignReport) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut net = false;
     let mut budget_secs: Option<u64> = None;
     let mut seed = DEFAULT_SEED;
     let mut out_dir = PathBuf::from("target/campaign");
@@ -76,6 +78,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--net" => net = true,
             "--budget-secs" => {
                 let v = take_value(&mut it, "--budget-secs");
                 budget_secs = Some(v.parse().unwrap_or_else(|e| {
@@ -101,11 +104,14 @@ fn main() {
             "--no-scrubber" => scrubber = false,
             "--help" | "-h" => {
                 println!(
-                    "usage: campaign [--quick] [--budget-secs N] [--seed S] \
+                    "usage: campaign [--quick] [--net] [--budget-secs N] [--seed S] \
                      [--out-dir DIR] [--no-scrubber]"
                 );
                 println!();
                 println!("  --quick        one deterministic round of the scenario deck");
+                println!("  --net          add the network phase: a live TCP server under");
+                println!("                 fault storm + quarantine, with connection kills");
+                println!("                 and read-your-writes checks across reconnects");
                 println!("  --budget-secs  soak: loop rounds until the wall budget is spent");
                 println!("  --seed         campaign seed (hex or decimal; pinned default)");
                 println!("  --out-dir      artifact directory (default target/campaign)");
@@ -193,4 +199,101 @@ fn main() {
         std::process::exit(1);
     }
     println!("campaign healthy: zero losses, zero unrecoverable words");
+
+    if net {
+        run_net_phase(seed, &out_dir);
+    }
+}
+
+/// The network phase: a live loopback `twod-server` under fault storm
+/// and administrative quarantine, hammered by clients that kill and
+/// re-establish their connections mid-storm. Exits nonzero on any
+/// wrong read, lost acknowledged write, failed final audit, or if
+/// degradation was never entered/exited (the shed path went untested).
+fn run_net_phase(seed: u64, out_dir: &std::path::Path) {
+    let cfg = NetChaosConfig::quick(seed);
+    println!(
+        "net phase: {} client(s) x {} ops, kill every {}, {} injection(s), {} bank(s)",
+        cfg.clients, cfg.ops_per_client, cfg.kill_every, cfg.storm_injections, cfg.banks,
+    );
+    let r = run_net_chaos(&cfg);
+    println!(
+        "  {} ops, {} acked write(s), {} verified read(s) mid-run, {} readback-checked",
+        r.ops, r.acked_writes, r.verified_reads, r.readback_checked,
+    );
+    println!(
+        "  sheds: {} busy, {} degraded; {} fault(s), {} gave up after retries",
+        r.busy_sheds, r.degraded_sheds, r.faults, r.gave_up,
+    );
+    println!(
+        "  {} reconnect(s) ({} with immediate readback), {} injection(s), \
+         degraded observed {} / cleared {}, final audit {}",
+        r.reconnects,
+        r.reconnect_readbacks,
+        r.injections,
+        r.degraded_observed,
+        r.degraded_cleared,
+        r.final_audit,
+    );
+    println!(
+        "  server: {} req, {} busy, {} degraded, {} protocol error(s), {} reaped",
+        r.server_stats.requests,
+        r.server_stats.busy_sheds,
+        r.server_stats.degraded_sheds,
+        r.server_stats.protocol_errors,
+        r.server_stats.connections_reaped,
+    );
+
+    let report_path = out_dir.join("net_chaos_report.json");
+    let json = format!(
+        "{{\n  \"schema\": \"twod-repro/net-chaos-v1\",\n  \"seed\": {seed},\n  \
+         \"ops\": {},\n  \"acked_writes\": {},\n  \"verified_reads\": {},\n  \
+         \"wrong_reads\": {},\n  \"lost_acked_writes\": {},\n  \"readback_checked\": {},\n  \
+         \"busy_sheds\": {},\n  \"degraded_sheds\": {},\n  \"faults\": {},\n  \
+         \"gave_up\": {},\n  \"reconnects\": {},\n  \"injections\": {},\n  \
+         \"degraded_observed\": {},\n  \"degraded_cleared\": {},\n  \"final_audit\": {}\n}}\n",
+        r.ops,
+        r.acked_writes,
+        r.verified_reads,
+        r.wrong_reads,
+        r.lost_acked_writes,
+        r.readback_checked,
+        r.busy_sheds,
+        r.degraded_sheds,
+        r.faults,
+        r.gave_up,
+        r.reconnects,
+        r.injections,
+        r.degraded_observed,
+        r.degraded_cleared,
+        r.final_audit,
+    );
+    std::fs::write(&report_path, json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", report_path.display()));
+    println!("wrote {}", report_path.display());
+
+    let mut unhealthy = Vec::new();
+    if r.wrong_reads > 0 {
+        unhealthy.push(format!("{} wrong read(s)", r.wrong_reads));
+    }
+    if r.lost_acked_writes > 0 {
+        unhealthy.push(format!(
+            "{} lost acknowledged write(s)",
+            r.lost_acked_writes
+        ));
+    }
+    if !r.degraded_observed {
+        unhealthy.push("degraded mode never observed over HEALTH".to_string());
+    }
+    if !r.degraded_cleared {
+        unhealthy.push("degradation never cleared after the storm".to_string());
+    }
+    if !r.final_audit {
+        unhealthy.push("final audit failed".to_string());
+    }
+    if !unhealthy.is_empty() {
+        eprintln!("net phase UNHEALTHY: {}", unhealthy.join(", "));
+        std::process::exit(1);
+    }
+    println!("net phase healthy: read-your-writes held across kills, storm, and quarantine");
 }

@@ -1,0 +1,219 @@
+//! Network load generator: drives a `twod-server` over loopback (or an
+//! external `--addr`) with multi-connection Zipf traffic and emits
+//! `BENCH_net.json` with throughput and p50/p99/p999 tail latency.
+//!
+//! ```text
+//! cargo run --release -p bench --bin net_load -- --quick
+//! cargo run --release -p bench --bin net_load -- --out-dir target/bench-gate
+//! cargo run --release -p bench --bin net_load -- --addr 10.0.0.5:7401
+//! ```
+//!
+//! Without `--addr` the binary spawns its own in-process server on
+//! `127.0.0.1:0` — the traffic still crosses real loopback TCP sockets,
+//! which is what the `net-smoke` CI lane runs. The process exits
+//! nonzero on any wrong read (read-your-writes violation over the
+//! wire) or if no requests complete — the lost-write/panic gate.
+
+use bench::bench_json::{self, BenchRow};
+use cachesim::net::{run_load, CacheServer, LoadConfig, LoadReport, ServerConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use twod_cache::{CacheConfig, ConcurrentBankedCache, Scrubber, ScrubberConfig, TwoDScheme};
+
+/// Pinned default seed (same refresh policy as the campaign seed).
+const DEFAULT_SEED: u64 = 0x5EED_0000_0000_7401;
+
+fn bench_rows_json(mode: &str, r: &LoadReport) -> String {
+    let rows: Vec<BenchRow> = [
+        // Mean ns per request — the throughput row (1e9 / mean_ns =
+        // requests/sec); tail rows carry the percentile latencies.
+        ("ops", r.mean_ns, r.ops),
+        ("p50", r.p50_ns as f64, r.ops),
+        ("p99", r.p99_ns as f64, r.ops),
+        ("p999", r.p999_ns as f64, r.ops),
+    ]
+    .into_iter()
+    .map(|(op, mean_ns, iters)| BenchRow {
+        name: "net".to_string(),
+        op: op.to_string(),
+        mean_ns,
+        iters,
+        allocs_per_op: None,
+    })
+    .collect();
+    bench_json::render(mode, &rows)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed = DEFAULT_SEED;
+    let mut addr: Option<String> = None;
+    let mut out_dir = PathBuf::from("target/net");
+    let mut banks = 8usize;
+    let mut it = args.iter();
+    let take_value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> String {
+        it.next()
+            .filter(|v| !v.starts_with("--"))
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+            .clone()
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let v = take_value(&mut it, "--seed");
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                seed = parsed.unwrap_or_else(|e| {
+                    eprintln!("--seed (decimal, or hex with 0x prefix): {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--addr" => addr = Some(take_value(&mut it, "--addr")),
+            "--out-dir" => out_dir = PathBuf::from(take_value(&mut it, "--out-dir")),
+            "--banks" => {
+                banks = take_value(&mut it, "--banks").parse().unwrap_or_else(|e| {
+                    eprintln!("--banks: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: net_load [--quick] [--seed S] [--addr A] [--out-dir DIR] [--banks N]"
+                );
+                println!();
+                println!("  --quick    CI smoke sizing (small streams, seconds-long)");
+                println!("  --addr     target an external server instead of spawning one");
+                println!("  --out-dir  where BENCH_net.json lands (default target/net)");
+                println!("  --banks    banks of the spawned server (ignored with --addr)");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = if quick {
+        LoadConfig::quick(seed)
+    } else {
+        LoadConfig::full(seed)
+    };
+
+    // Spawn an in-process loopback server unless an external target was
+    // given. The scrubber runs so HEALTH reflects a live system.
+    let spawned: Option<CacheServer> = if addr.is_none() {
+        let config = CacheConfig {
+            sets: 64,
+            ways: 4,
+            data_scheme: TwoDScheme::l1_paper(),
+            tag_scheme: TwoDScheme {
+                data_bits: 50,
+                ..TwoDScheme::l1_paper()
+            },
+        };
+        let cache = Arc::new(ConcurrentBankedCache::new(config, banks));
+        let scrubber = Arc::new(Scrubber::spawn(
+            Arc::clone(&cache),
+            ScrubberConfig::default(),
+        ));
+        Some(
+            CacheServer::spawn(
+                cache,
+                Some(scrubber),
+                "127.0.0.1:0",
+                ServerConfig::default(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("net_load: spawn loopback server: {e}");
+                std::process::exit(1);
+            }),
+        )
+    } else {
+        None
+    };
+    let target: SocketAddr = match (&spawned, &addr) {
+        (Some(server), _) => server.local_addr(),
+        (None, Some(a)) => a.parse().unwrap_or_else(|e| {
+            eprintln!("--addr '{a}': {e}");
+            std::process::exit(2);
+        }),
+        (None, None) => unreachable!("either spawned or --addr"),
+    };
+
+    println!(
+        "net_load: {} connection(s) x {} ops, pipeline depth {}, {} key rank(s), seed {seed:#x} -> {target}",
+        cfg.connections, cfg.ops_per_connection, cfg.pipeline_depth, cfg.key_ranks,
+    );
+    let report = run_load(target, &cfg).unwrap_or_else(|e| {
+        eprintln!("net_load: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "  {} ops in {:.2} s -> {:.0} req/s ({:.0} ns/req mean)",
+        report.ops,
+        report.wall_ns as f64 / 1e9,
+        report.throughput_ops_per_sec,
+        report.mean_ns,
+    );
+    println!(
+        "  latency p50 {} ns, p99 {} ns, p999 {} ns, max {} ns",
+        report.p50_ns, report.p99_ns, report.p999_ns, report.max_ns,
+    );
+    println!(
+        "  {} acked write(s), {} value(s), {} verified read(s), {} wrong read(s)",
+        report.acked_writes, report.values, report.verified_reads, report.wrong_reads,
+    );
+    println!(
+        "  sheds: {} busy, {} degraded; {} fault(s), {} bad request(s), \
+         {} reconnect(s), {} transport error(s)",
+        report.busy,
+        report.degraded,
+        report.faults,
+        report.bad_requests,
+        report.reconnects,
+        report.transport_errors,
+    );
+    if let Some(server) = &spawned {
+        let s = server.stats();
+        println!(
+            "  server: {} req, {} conn accepted, {} protocol error(s)",
+            s.requests, s.connections_accepted, s.protocol_errors,
+        );
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("creating net output directory");
+    let bench_path = out_dir.join("BENCH_net.json");
+    let mode = if quick { "quick" } else { "full" };
+    std::fs::write(&bench_path, bench_rows_json(mode, &report))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", bench_path.display()));
+    println!("wrote {}", bench_path.display());
+
+    if let Some(server) = spawned {
+        server.shutdown();
+    }
+
+    if report.ops == 0 {
+        eprintln!("net_load FAILED: no requests completed");
+        std::process::exit(1);
+    }
+    if report.wrong_reads > 0 {
+        eprintln!(
+            "net_load FAILED: {} wrong read(s) — read-your-writes violated over the wire",
+            report.wrong_reads,
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "net_load healthy: zero wrong reads over {} verified",
+        report.verified_reads
+    );
+}

@@ -58,6 +58,8 @@ pub use service::campaign::{
     run_campaign, CampaignConfig, CampaignOutcome, CampaignReport, CampaignTiming, FaultScenario,
     PhaseOutcome,
 };
+pub use service::net;
+pub use service::net::{CacheServer, NetClient, ServerConfig, ServerError, ServerStats};
 pub use service::{
     generate_ops, replay_ops, run_traffic, run_traffic_with_storm, AccessPattern, FaultStorm, Op,
     ServiceReport, TrafficConfig,

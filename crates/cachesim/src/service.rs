@@ -20,6 +20,7 @@
 //! interleaving precisely because owners are exclusive writers.
 
 pub mod campaign;
+pub mod net;
 
 use crate::{HotSetSampler, ZipfSampler};
 use rand::{rngs::StdRng, Rng, SeedableRng};

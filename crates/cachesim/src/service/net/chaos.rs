@@ -1,0 +1,467 @@
+//! The network phase of the chaos campaign: a live [`CacheServer`]
+//! under concurrent client traffic while a fault storm strikes banks, a
+//! quarantine toggles mid-run, and client connections are killed and
+//! re-established mid-storm — verifying that acknowledged writes
+//! survive every disconnect, reads are never wrong, and requests to
+//! recovering banks are shed with `BUSY`/`DEGRADED` instead of hanging
+//! or panicking.
+//!
+//! Injection discipline matches the in-process campaign
+//! ([`crate::service::campaign`]): before every injection the target
+//! bank is scrubbed clean, so each fault event is isolated and
+//! correctable by construction — any lost write or wrong read is a real
+//! service bug, not compound-damage bad luck.
+
+use super::client::{ClientConfig, NetClient};
+use super::protocol::Response;
+use super::server::{CacheServer, ServerConfig, ServerStats};
+use memarray::ErrorShape;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use twod_cache::{CacheConfig, ConcurrentBankedCache, Scrubber, ScrubberConfig, TwoDScheme};
+
+/// Configuration of one network chaos run.
+#[derive(Clone, Debug)]
+pub struct NetChaosConfig {
+    /// Master seed for client streams and injection positions.
+    pub seed: u64,
+    /// Banks in the served cache.
+    pub banks: usize,
+    /// Sets per bank (small banks so recoveries cycle quickly).
+    pub sets: usize,
+    /// Associativity per bank.
+    pub ways: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests per client.
+    pub ops_per_client: u64,
+    /// Every `kill_every` requests a client abruptly drops its
+    /// connection and reconnects (mid-storm), then immediately re-reads
+    /// one of its acknowledged writes.
+    pub kill_every: u64,
+    /// Distinct key ranks per client partition.
+    pub key_ranks: usize,
+    /// Fraction of requests that are `SET`s.
+    pub write_fraction: f64,
+    /// Fault injections performed by the storm thread.
+    pub storm_injections: u32,
+    /// Pause between storm injections.
+    pub storm_interval: Duration,
+    /// How long the mid-run administrative quarantine lasts.
+    pub quarantine_hold: Duration,
+    /// Shed-aware retry attempts per request before giving up on it.
+    pub retry_attempts: u32,
+    /// Server tuning for the run.
+    pub server: ServerConfig,
+}
+
+impl NetChaosConfig {
+    /// The CI smoke configuration: seconds-long on a single CPU, yet
+    /// covering injections, quarantine, kills, and reconnect readback.
+    pub fn quick(seed: u64) -> Self {
+        NetChaosConfig {
+            seed,
+            banks: 4,
+            // 24x2 -> 96-row banks, same geometry rationale as
+            // `CampaignConfig::quick`: column strips leave odd evidence
+            // per vertical stripe, so recovery paths get real exercise.
+            sets: 24,
+            ways: 2,
+            clients: 4,
+            ops_per_client: 3_000,
+            kill_every: 500,
+            key_ranks: 2_000,
+            write_fraction: 0.35,
+            storm_injections: 24,
+            storm_interval: Duration::from_millis(5),
+            quarantine_hold: Duration::from_millis(60),
+            retry_attempts: 8,
+            server: ServerConfig::default(),
+        }
+    }
+
+    fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            sets: self.sets,
+            ways: self.ways,
+            data_scheme: TwoDScheme::l1_paper(),
+            tag_scheme: TwoDScheme {
+                data_bits: 50,
+                ..TwoDScheme::l1_paper()
+            },
+        }
+    }
+}
+
+/// Result of one network chaos run. The invariants a caller must gate
+/// on: `wrong_reads == 0`, `lost_acked_writes == 0`,
+/// `degraded_observed && degraded_cleared`, and `gave_up == 0` only if
+/// it demands full delivery (shed-retry exhaustion under storm is
+/// acceptable; silent loss is not).
+#[derive(Clone, Debug, Default)]
+pub struct NetChaosReport {
+    /// Requests answered across all clients (including retries).
+    pub ops: u64,
+    /// `SET`s acknowledged by the server.
+    pub acked_writes: u64,
+    /// Owned reads verified against a client's private model mid-run.
+    pub verified_reads: u64,
+    /// Mid-run verified reads that disagreed — **must be zero**.
+    pub wrong_reads: u64,
+    /// Acknowledged writes the final readback could not recover —
+    /// **must be zero**.
+    pub lost_acked_writes: u64,
+    /// Acknowledged writes re-checked by the final readback.
+    pub readback_checked: u64,
+    /// Requests shed `BUSY` (admission pressure).
+    pub busy_sheds: u64,
+    /// Requests shed `DEGRADED` (recovery window / quarantine).
+    pub degraded_sheds: u64,
+    /// Requests answered `FAULT`.
+    pub faults: u64,
+    /// Requests abandoned after exhausting shed retries.
+    pub gave_up: u64,
+    /// Forced disconnect/reconnect cycles performed.
+    pub reconnects: u64,
+    /// Read-your-writes checks performed immediately after a reconnect.
+    pub reconnect_readbacks: u64,
+    /// Fault injections the storm performed.
+    pub injections: u32,
+    /// A `HEALTH` poll (over the wire) observed at least one degraded
+    /// or quarantined bank mid-run.
+    pub degraded_observed: bool,
+    /// A later `HEALTH` poll observed every bank healthy again.
+    pub degraded_cleared: bool,
+    /// The served cache passed its full audit after the run.
+    pub final_audit: bool,
+    /// Server-side counters at shutdown.
+    pub server_stats: ServerStats,
+}
+
+/// Per-client tally folded into the report.
+#[derive(Default)]
+struct ClientTally {
+    ops: u64,
+    acked_writes: u64,
+    verified_reads: u64,
+    wrong_reads: u64,
+    busy_sheds: u64,
+    degraded_sheds: u64,
+    faults: u64,
+    gave_up: u64,
+    reconnects: u64,
+    reconnect_readbacks: u64,
+    /// Final model of acknowledged writes, for the readback phase.
+    model: HashMap<u64, u64>,
+}
+
+/// Runs the network chaos phase end to end: spawn server (with an
+/// aggressive scrubber), storm + quarantine + health-poll threads,
+/// `cfg.clients` killing-and-reconnecting client threads, then a final
+/// readback of every acknowledged write over a fresh connection.
+///
+/// # Panics
+///
+/// Panics if the loopback server or a client connection cannot be
+/// established at all (environment failure, not a chaos outcome).
+pub fn run_net_chaos(cfg: &NetChaosConfig) -> NetChaosReport {
+    let cache = Arc::new(ConcurrentBankedCache::new(cfg.cache_config(), cfg.banks));
+    let scrubber = Arc::new(Scrubber::spawn(Arc::clone(&cache), chaos_scrubber_config()));
+    let server = CacheServer::spawn(
+        Arc::clone(&cache),
+        Some(Arc::clone(&scrubber)),
+        "127.0.0.1:0",
+        cfg.server,
+    )
+    .expect("bind loopback chaos server");
+    let addr = server.local_addr();
+
+    let stop_storm = Arc::new(AtomicBool::new(false));
+    let degraded_observed = Arc::new(AtomicBool::new(false));
+
+    let mut report = NetChaosReport::default();
+    let (tallies, injections, cleared) = std::thread::scope(|scope| {
+        // Fault storm: scrub-then-inject per event, rotating banks.
+        let storm = {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop_storm);
+            let cfg = cfg.clone();
+            scope.spawn(move || storm_loop(&cache, &cfg, &stop))
+        };
+        // Quarantine toggler: force one bank into administrative
+        // degradation mid-run, then lift it.
+        {
+            let stop = Arc::clone(&stop_storm);
+            let server = &server;
+            let hold = cfg.quarantine_hold;
+            scope.spawn(move || {
+                std::thread::sleep(hold / 2);
+                if !stop.load(Ordering::Relaxed) {
+                    server.quarantine_bank(0, true);
+                    std::thread::sleep(hold);
+                    server.quarantine_bank(0, false);
+                }
+            });
+        }
+        // Health poller over the wire: asserts degradation is visible
+        // through the HEALTH opcode while the storm runs.
+        let poller = {
+            let stop = Arc::clone(&stop_storm);
+            let observed = Arc::clone(&degraded_observed);
+            scope.spawn(move || health_poll_loop(addr, &stop, &observed))
+        };
+
+        let mut handles = Vec::with_capacity(cfg.clients);
+        for t in 0..cfg.clients {
+            let cfg = cfg.clone();
+            handles.push(scope.spawn(move || run_client(t, addr, &cfg)));
+        }
+        let tallies: Vec<ClientTally> = handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos client thread panicked"))
+            .collect();
+
+        stop_storm.store(true, Ordering::Relaxed);
+        let injections = storm.join().expect("storm thread panicked");
+        let cleared = poller.join().expect("health poller panicked");
+        (tallies, injections, cleared)
+    });
+
+    for tally in &tallies {
+        report.ops += tally.ops;
+        report.acked_writes += tally.acked_writes;
+        report.verified_reads += tally.verified_reads;
+        report.wrong_reads += tally.wrong_reads;
+        report.busy_sheds += tally.busy_sheds;
+        report.degraded_sheds += tally.degraded_sheds;
+        report.faults += tally.faults;
+        report.gave_up += tally.gave_up;
+        report.reconnects += tally.reconnects;
+        report.reconnect_readbacks += tally.reconnect_readbacks;
+    }
+    report.injections = injections;
+    report.degraded_observed = degraded_observed.load(Ordering::Relaxed);
+    report.degraded_cleared = cleared;
+
+    // Final readback: every acknowledged write must be recoverable over
+    // a fresh connection, with the storm over and quarantine lifted.
+    // Generous retries: the last degraded windows may still be open.
+    let mut readback =
+        NetClient::connect_with(addr, ClientConfig::default()).expect("readback connect");
+    for tally in &tallies {
+        for (&key, &value) in &tally.model {
+            report.readback_checked += 1;
+            match readback.get_retry(key, cfg.retry_attempts.max(16)) {
+                Ok(Response::Value(v)) if v == value => {}
+                _ => report.lost_acked_writes += 1,
+            }
+        }
+    }
+
+    report.server_stats = server.stats();
+    server.shutdown();
+    // Scrubber threads hold the cache Arc; stop them before auditing so
+    // the audit sees a quiescent array.
+    Arc::try_unwrap(scrubber)
+        .map(Scrubber::stop)
+        .unwrap_or_default();
+    report.final_audit = cache.audit();
+    report
+}
+
+/// Aggressive scrub cadence for the chaos run (mirrors
+/// `CampaignConfig::campaign_scrubber`, re-declared here to keep the
+/// net module independent of campaign config evolution).
+fn chaos_scrubber_config() -> ScrubberConfig {
+    ScrubberConfig {
+        threads: 2,
+        rows_per_slice: 16,
+        idle_interval: Duration::from_millis(1),
+        min_interval: Duration::from_micros(20),
+        adaptive: true,
+        time_acceleration: 1000.0 * 3600.0,
+    }
+}
+
+/// Storm loop: scrub the target bank clean, then inject one bounded
+/// cluster; rotate banks. Returns the number of injections performed.
+fn storm_loop(cache: &ConcurrentBankedCache, cfg: &NetChaosConfig, stop: &AtomicBool) -> u32 {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5708_13FF);
+    let (rows, cols) = {
+        let bank0 = cache.lock_bank(0);
+        (bank0.data_array().rows(), bank0.data_array().cols())
+    };
+    let vertical = cfg.cache_config().data_scheme.vertical_rows.min(rows);
+    let mut injected = 0u32;
+    for i in 0..cfg.storm_injections {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let bank = (i as usize) % cache.banks();
+        // Pre-injection discipline: clear residue so this event is
+        // isolated and correctable by construction.
+        let _ = cache.scrub();
+        let height = rng.gen_range(1..=vertical.max(1).min(rows));
+        let width = rng.gen_range(1..=2usize.min(cols));
+        let row = rng.gen_range(0..=(rows - height));
+        let col = rng.gen_range(0..=(cols - width));
+        cache.inject_bank_error(
+            bank,
+            ErrorShape::Cluster {
+                row,
+                col,
+                height,
+                width,
+            },
+        );
+        injected += 1;
+        std::thread::sleep(cfg.storm_interval);
+    }
+    injected
+}
+
+/// Polls `HEALTH` over the wire; records when degradation is visible
+/// and returns whether a poll after the storm saw every bank healthy.
+fn health_poll_loop(addr: std::net::SocketAddr, stop: &AtomicBool, observed: &AtomicBool) -> bool {
+    let mut client = match NetClient::connect_with(addr, ClientConfig::default()) {
+        Ok(c) => c,
+        Err(_) => return false,
+    };
+    while !stop.load(Ordering::Relaxed) {
+        if let Ok(report) = client.health() {
+            if report.degraded_banks() > 0 {
+                observed.store(true, Ordering::Relaxed);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Post-storm: wait (bounded) for every degraded window to close.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        match client.health() {
+            Ok(report) if report.degraded_banks() == 0 => return true,
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    false
+}
+
+/// One chaos client: owned-partition writes with an acked-write model,
+/// shed-aware retries, forced kills + reconnects, and an immediate
+/// read-your-writes probe after every reconnect.
+fn run_client(t: usize, addr: std::net::SocketAddr, cfg: &NetChaosConfig) -> ClientTally {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xDEAD_0000 + t as u64));
+    let mut tally = ClientTally::default();
+    let mut client = match NetClient::connect_with(addr, ClientConfig::default()) {
+        Ok(c) => c,
+        Err(_) => return tally,
+    };
+    for i in 0..cfg.ops_per_client {
+        // Forced kill: drop the socket abruptly mid-storm, reconnect,
+        // and immediately verify one previously acknowledged write.
+        if cfg.kill_every > 0 && i > 0 && i % cfg.kill_every == 0 {
+            if client.reconnect().is_err() {
+                return tally;
+            }
+            tally.reconnects += 1;
+            if let Some((&key, &value)) = tally.model.iter().next() {
+                tally.reconnect_readbacks += 1;
+                match client.get_retry(key, cfg.retry_attempts) {
+                    Ok(Response::Value(v)) => {
+                        tally.verified_reads += 1;
+                        if v != value {
+                            tally.wrong_reads += 1;
+                        }
+                    }
+                    Ok(Response::Busy { .. }) => tally.busy_sheds += 1,
+                    Ok(Response::Degraded { .. }) => tally.degraded_sheds += 1,
+                    Ok(Response::Fault) => tally.faults += 1,
+                    Ok(_) => {}
+                    Err(_) => {
+                        if client.reconnect().is_err() {
+                            return tally;
+                        }
+                        tally.reconnects += 1;
+                    }
+                }
+            }
+        }
+        let rank = rng.gen_range(0..cfg.key_ranks);
+        let key = (rank as u64) * (cfg.clients as u64) + t as u64;
+        if rng.gen_bool(cfg.write_fraction) {
+            let value: u64 = rng.gen();
+            match client.set_retry(key, value, cfg.retry_attempts) {
+                Ok(Response::Ok) => {
+                    tally.ops += 1;
+                    tally.acked_writes += 1;
+                    tally.model.insert(key, value);
+                }
+                Ok(Response::Busy { .. }) => {
+                    tally.ops += 1;
+                    tally.busy_sheds += 1;
+                    tally.gave_up += 1;
+                }
+                Ok(Response::Degraded { .. }) => {
+                    tally.ops += 1;
+                    tally.degraded_sheds += 1;
+                    tally.gave_up += 1;
+                }
+                Ok(Response::Fault) => {
+                    tally.ops += 1;
+                    tally.faults += 1;
+                    // The write was *not* acknowledged; its key keeps
+                    // its previous model entry (if any): an earlier
+                    // acked value must still be servable post-recovery.
+                }
+                Ok(_) => tally.ops += 1,
+                Err(_) => {
+                    // Transport loss: commit status unknown — drop the
+                    // key from the model (no false expectations either
+                    // way), reconnect, continue.
+                    tally.model.remove(&key);
+                    if client.reconnect().is_err() {
+                        return tally;
+                    }
+                    tally.reconnects += 1;
+                }
+            }
+        } else {
+            match client.get_retry(key, cfg.retry_attempts) {
+                Ok(Response::Value(v)) => {
+                    tally.ops += 1;
+                    if let Some(&expected) = tally.model.get(&key) {
+                        tally.verified_reads += 1;
+                        if v != expected {
+                            tally.wrong_reads += 1;
+                        }
+                    }
+                }
+                Ok(Response::Busy { .. }) => {
+                    tally.ops += 1;
+                    tally.busy_sheds += 1;
+                    tally.gave_up += 1;
+                }
+                Ok(Response::Degraded { .. }) => {
+                    tally.ops += 1;
+                    tally.degraded_sheds += 1;
+                    tally.gave_up += 1;
+                }
+                Ok(Response::Fault) => {
+                    tally.ops += 1;
+                    tally.faults += 1;
+                }
+                Ok(_) => tally.ops += 1,
+                Err(_) => {
+                    if client.reconnect().is_err() {
+                        return tally;
+                    }
+                    tally.reconnects += 1;
+                }
+            }
+        }
+    }
+    tally
+}

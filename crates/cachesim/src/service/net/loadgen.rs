@@ -1,0 +1,314 @@
+//! Multi-connection load generator for the network tier: Zipf-popular
+//! keys over a large key space, pipelined request batches, per-op
+//! round-trip latency with tail percentiles, and read-your-writes
+//! verification riding along — the socket-in-the-loop companion to the
+//! in-process traffic driver in [`crate::service`].
+//!
+//! Ownership mirrors the in-process driver: connection `t` *writes*
+//! only keys `k` with `k % connections == t` but *reads* across every
+//! partition; owned reads are verified against the connection's private
+//! model of its own acknowledged writes, which is exact under any
+//! interleaving because owners are exclusive writers.
+
+use super::client::{ClientConfig, NetClient};
+use super::protocol::{Request, Response, ServerError};
+use crate::ZipfSampler;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub ops_per_connection: u64,
+    /// Distinct key ranks per connection partition: the total key
+    /// universe is `key_ranks * connections` (so "millions of keys"
+    /// means `key_ranks` in the millions / `connections`).
+    pub key_ranks: usize,
+    /// Zipf exponent of key popularity (`1.0` = classic Zipf).
+    pub zipf_theta: f64,
+    /// Fraction of requests that are `SET`s.
+    pub write_fraction: f64,
+    /// Requests sent back-to-back per batch (wire pipelining depth;
+    /// `1` = strict request/response alternation).
+    pub pipeline_depth: usize,
+    /// Master seed for per-connection request streams.
+    pub seed: u64,
+    /// Client socket timeouts.
+    pub client: ClientConfig,
+}
+
+impl LoadConfig {
+    /// The CI smoke configuration: small enough for single-digit
+    /// seconds on a single CPU, large enough to exercise pipelining,
+    /// both opcodes, and the verification model.
+    pub fn quick(seed: u64) -> Self {
+        LoadConfig {
+            connections: 4,
+            ops_per_connection: 4_000,
+            key_ranks: 50_000,
+            zipf_theta: 1.1,
+            write_fraction: 0.3,
+            pipeline_depth: 16,
+            seed,
+            client: ClientConfig::default(),
+        }
+    }
+
+    /// The benchmark configuration: millions of distinct keys, deeper
+    /// pipelines, enough samples for stable p999.
+    pub fn full(seed: u64) -> Self {
+        LoadConfig {
+            connections: 8,
+            ops_per_connection: 50_000,
+            key_ranks: 250_000,
+            zipf_theta: 1.1,
+            write_fraction: 0.3,
+            pipeline_depth: 32,
+            seed,
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// Aggregate result of one load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Connections that completed their stream.
+    pub connections: usize,
+    /// Requests answered (any status).
+    pub ops: u64,
+    /// Wall-clock of the whole run in nanoseconds.
+    pub wall_ns: u64,
+    /// Aggregate throughput in requests per second.
+    pub throughput_ops_per_sec: f64,
+    /// Mean per-request round-trip nanoseconds (batch time / batch
+    /// size under pipelining).
+    pub mean_ns: f64,
+    /// Median per-request latency.
+    pub p50_ns: u64,
+    /// 99th-percentile per-request latency.
+    pub p99_ns: u64,
+    /// 99.9th-percentile per-request latency.
+    pub p999_ns: u64,
+    /// Worst observed per-request latency.
+    pub max_ns: u64,
+    /// `GET`s answered with a value.
+    pub values: u64,
+    /// `SET`s acknowledged.
+    pub acked_writes: u64,
+    /// Requests shed `BUSY`.
+    pub busy: u64,
+    /// Requests shed `DEGRADED`.
+    pub degraded: u64,
+    /// Requests answered `FAULT`.
+    pub faults: u64,
+    /// Requests answered `BAD_REQUEST`.
+    pub bad_requests: u64,
+    /// Owned reads checked against the writer's model.
+    pub verified_reads: u64,
+    /// Owned reads that disagreed with the model — **must be zero**.
+    pub wrong_reads: u64,
+    /// Transport-level reconnects performed mid-run.
+    pub reconnects: u64,
+    /// Requests abandoned to transport errors after reconnecting.
+    pub transport_errors: u64,
+}
+
+/// Per-connection tally folded into the aggregate report.
+#[derive(Default)]
+struct ConnTally {
+    ops: u64,
+    values: u64,
+    acked_writes: u64,
+    busy: u64,
+    degraded: u64,
+    faults: u64,
+    bad_requests: u64,
+    verified_reads: u64,
+    wrong_reads: u64,
+    reconnects: u64,
+    transport_errors: u64,
+    latencies: Vec<u64>,
+}
+
+/// Runs `cfg.connections` concurrent client connections against the
+/// server at `addr` and reports throughput, tail latency, and
+/// verification counters.
+///
+/// # Errors
+///
+/// Returns the first connection-establishment failure; mid-run
+/// transport errors are retried via reconnect and tallied instead.
+///
+/// # Panics
+///
+/// Panics if `cfg.connections == 0`, `cfg.pipeline_depth == 0`, or
+/// `cfg.key_ranks == 0` (degenerate configuration, caller error).
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ServerError> {
+    assert!(cfg.connections >= 1, "load needs a connection");
+    assert!(cfg.pipeline_depth >= 1, "pipeline depth must be positive");
+    assert!(cfg.key_ranks >= 1, "key space must be nonempty");
+    let sampler = Arc::new(ZipfSampler::new(cfg.key_ranks, cfg.zipf_theta));
+    // Establish every connection up front so a refused listener fails
+    // fast instead of half-running.
+    let mut clients = Vec::with_capacity(cfg.connections);
+    for _ in 0..cfg.connections {
+        clients.push(NetClient::connect_with(addr, cfg.client)?);
+    }
+    let started = Instant::now();
+    let tallies: Vec<ConnTally> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.connections);
+        for (t, client) in clients.into_iter().enumerate() {
+            let sampler = Arc::clone(&sampler);
+            handles.push(scope.spawn(move || run_connection(t, client, cfg, &sampler)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let wall_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+
+    let mut report = LoadReport {
+        connections: cfg.connections,
+        wall_ns,
+        ..LoadReport::default()
+    };
+    let mut latencies: Vec<u64> = Vec::new();
+    for tally in tallies {
+        report.ops += tally.ops;
+        report.values += tally.values;
+        report.acked_writes += tally.acked_writes;
+        report.busy += tally.busy;
+        report.degraded += tally.degraded;
+        report.faults += tally.faults;
+        report.bad_requests += tally.bad_requests;
+        report.verified_reads += tally.verified_reads;
+        report.wrong_reads += tally.wrong_reads;
+        report.reconnects += tally.reconnects;
+        report.transport_errors += tally.transport_errors;
+        latencies.extend(tally.latencies);
+    }
+    if wall_ns > 0 {
+        report.throughput_ops_per_sec = report.ops as f64 / (wall_ns as f64 / 1e9);
+    }
+    if !latencies.is_empty() {
+        latencies.sort_unstable();
+        let n = latencies.len();
+        let pick = |q: f64| latencies[(((n as f64) * q) as usize).min(n - 1)];
+        report.mean_ns = latencies.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        report.p50_ns = pick(0.50);
+        report.p99_ns = pick(0.99);
+        report.p999_ns = pick(0.999);
+        report.max_ns = latencies[n - 1];
+    }
+    Ok(report)
+}
+
+/// Maps a sampled popularity rank and an owner partition to a wire key.
+/// Partitions interleave (`key % connections == owner`), so ownership
+/// is checkable from the key alone.
+fn key_of(rank: usize, owner: usize, connections: usize) -> u64 {
+    (rank as u64) * (connections as u64) + owner as u64
+}
+
+fn run_connection(
+    t: usize,
+    mut client: NetClient,
+    cfg: &LoadConfig,
+    sampler: &ZipfSampler,
+) -> ConnTally {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xC0FF_EE00 + t as u64));
+    let mut tally = ConnTally::default();
+    // Private model of this connection's *acknowledged* writes: the
+    // read-your-writes oracle for owned keys. Keys whose last write was
+    // cut off by a transport failure are *uncertain* (the write may or
+    // may not have committed) and exempt from verification until the
+    // next acknowledged write settles them.
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let mut uncertain: HashSet<u64> = HashSet::new();
+    let mut batch: Vec<Request> = Vec::with_capacity(cfg.pipeline_depth);
+    let mut issued = 0u64;
+    while issued < cfg.ops_per_connection {
+        batch.clear();
+        let depth = cfg
+            .pipeline_depth
+            .min((cfg.ops_per_connection - issued) as usize);
+        for _ in 0..depth {
+            let rank = sampler.sample(&mut rng);
+            if rng.gen_bool(cfg.write_fraction) {
+                let key = key_of(rank, t, cfg.connections);
+                batch.push(Request::Set {
+                    key,
+                    value: rng.gen(),
+                });
+            } else {
+                let owner = rng.gen_range(0..cfg.connections);
+                batch.push(Request::Get {
+                    key: key_of(rank, owner, cfg.connections),
+                });
+            }
+        }
+        issued += batch.len() as u64;
+        let begun = Instant::now();
+        let responses = match client.pipeline(&batch) {
+            Ok(r) => r,
+            Err(_) => {
+                // Transport failure mid-batch: the batch's outcomes are
+                // unknown (writes may or may not have committed), so
+                // drop the affected keys from the model rather than
+                // assert stale expectations, reconnect, and move on.
+                tally.transport_errors += batch.len() as u64;
+                for req in &batch {
+                    if let Request::Set { key, .. } = req {
+                        model.remove(key);
+                        uncertain.insert(*key);
+                    }
+                }
+                if client.reconnect().is_err() {
+                    return tally;
+                }
+                tally.reconnects += 1;
+                continue;
+            }
+        };
+        let per_op = Instant::now()
+            .duration_since(begun)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64
+            / responses.len().max(1) as u64;
+        for (req, resp) in batch.iter().zip(&responses) {
+            tally.ops += 1;
+            tally.latencies.push(per_op);
+            match (req, resp) {
+                (Request::Set { key, value }, Response::Ok) => {
+                    tally.acked_writes += 1;
+                    uncertain.remove(key);
+                    model.insert(*key, *value);
+                }
+                (Request::Get { key }, Response::Value(v)) => {
+                    tally.values += 1;
+                    if *key % cfg.connections as u64 == t as u64 && !uncertain.contains(key) {
+                        let expected = model.get(key).copied().unwrap_or(0);
+                        tally.verified_reads += 1;
+                        if *v != expected {
+                            tally.wrong_reads += 1;
+                        }
+                    }
+                }
+                (_, Response::Busy { .. }) => tally.busy += 1,
+                (_, Response::Degraded { .. }) => tally.degraded += 1,
+                (_, Response::Fault) => tally.faults += 1,
+                (_, Response::BadRequest) => tally.bad_requests += 1,
+                _ => {}
+            }
+        }
+    }
+    tally
+}

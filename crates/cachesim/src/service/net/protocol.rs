@@ -1,0 +1,889 @@
+//! Wire codec of the `twod-server` protocol: a length-prefixed binary
+//! framing with typed, panic-free decoding.
+//!
+//! # Frame layout
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! +----------------+--------------------------------------+
+//! | u32 LE: length | payload (`length` bytes)             |
+//! +----------------+--------------------------------------+
+//! payload:
+//!   u8      opcode (request) / status (response)
+//!   u32 LE  request id (echoed verbatim in the response)
+//!   ...     body, fixed layout per opcode/status (below)
+//! ```
+//!
+//! Request bodies: `GET` carries a `u64 LE` key; `SET` a `u64 LE` key
+//! followed by a `u64 LE` value; `HEALTH` and `SCRUB_STATS` are empty.
+//! Response bodies: `OK` to a `GET` carries the `u64 LE` value; `OK` to
+//! a `SET` is empty; `BUSY` and `DEGRADED` carry a `u32 LE`
+//! retry-after hint in milliseconds; `FAULT` and `BAD_REQUEST` are
+//! empty; `OK` to `HEALTH`/`SCRUB_STATS` carries the serialized
+//! [`HealthReport`] / [`ScrubSnapshot`].
+//!
+//! Keys are capped at [`MAX_KEY`] (51 bits): the server maps keys to
+//! aligned 64-bit word addresses through an invertible mixer
+//! ([`route_key`]), and injectivity — two distinct keys can never alias
+//! one cache word — only holds on the 51-bit domain. A larger key is a
+//! `BAD_REQUEST`, not a silent truncation.
+//!
+//! # Robustness contract
+//!
+//! Decoding never panics and never reads out of bounds on any input:
+//! truncated, oversized, trailing-garbage, unknown-opcode, and
+//! unknown-status payloads all come back as typed [`ProtocolError`]s
+//! (property-tested in `tests/net_protocol.rs`). Frames longer than
+//! [`MAX_FRAME_BYTES`] are rejected from the length prefix alone, so a
+//! hostile length can never cause an allocation burst.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use twod_cache::ScrubberStats;
+
+/// Hard ceiling on one frame's payload length. Large enough for a
+/// [`HealthReport`] over [`MAX_HEALTH_BANKS`] banks, small enough that a
+/// hostile length prefix cannot make the server allocate unboundedly.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Largest key the protocol accepts (51 bits — see [`route_key`] for
+/// why the domain is bounded by the engine's 48-bit stored tag width).
+pub const MAX_KEY: u64 = (1 << 51) - 1;
+
+/// Most banks a [`HealthReport`] will serialize (fits [`MAX_FRAME_BYTES`]
+/// with generous slack).
+pub const MAX_HEALTH_BANKS: usize = 1024;
+
+/// Request opcodes on the wire.
+pub mod opcode {
+    /// `GET key` — read one value.
+    pub const GET: u8 = 0x01;
+    /// `SET key value` — store one value.
+    pub const SET: u8 = 0x02;
+    /// `HEALTH` — per-bank health introspection.
+    pub const HEALTH: u8 = 0x03;
+    /// `SCRUB_STATS` — scrubber counters + reliability telemetry.
+    pub const SCRUB_STATS: u8 = 0x04;
+}
+
+/// Response status bytes on the wire.
+pub mod status {
+    /// Success (body layout depends on the request answered).
+    pub const OK: u8 = 0x00;
+    /// Admission bound hit — shed with a retry-after hint.
+    pub const BUSY: u8 = 0x01;
+    /// Target bank degraded/quarantined — shed with a retry-after hint.
+    pub const DEGRADED: u8 = 0x02;
+    /// Uncorrectable damage on the addressed word.
+    pub const FAULT: u8 = 0x03;
+    /// Structurally decodable but invalid request (e.g. oversized key).
+    pub const BAD_REQUEST: u8 = 0x04;
+}
+
+/// A decoded client request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Read the value stored under `key` (missing keys read as `0`, the
+    /// cache's fill value).
+    Get {
+        /// The 51-bit key (see [`MAX_KEY`]).
+        key: u64,
+    },
+    /// Store `value` under `key`.
+    Set {
+        /// The 51-bit key (see [`MAX_KEY`]).
+        key: u64,
+        /// The 64-bit value to store.
+        value: u64,
+    },
+    /// Per-bank health introspection (degraded/quarantined flags,
+    /// admission pressure, observed error counts).
+    Health,
+    /// Background-scrubber counters and live reliability telemetry.
+    ScrubStats,
+}
+
+/// A decoded server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `GET` succeeded with this value.
+    Value(u64),
+    /// `SET` was committed (acknowledged write: it must survive any
+    /// fault the scheme covers, and any disconnect).
+    Ok,
+    /// The target bank's admission queue is full; retry after the hint.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The target bank is degraded (mid-recovery or quarantined); the
+    /// request was shed, not queued. Healthy banks keep serving.
+    Degraded {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The operation hit uncorrectable damage — the protection was
+    /// defeated for this word.
+    Fault,
+    /// The request was structurally valid but semantically rejected
+    /// (e.g. key above [`MAX_KEY`]).
+    BadRequest,
+    /// `HEALTH` snapshot.
+    Health(HealthReport),
+    /// `SCRUB_STATS` snapshot.
+    ScrubStats(ScrubSnapshot),
+}
+
+impl Response {
+    /// The wire status byte this response is carried under (see
+    /// [`status`]).
+    pub fn status_byte(&self) -> u8 {
+        match self {
+            Response::Value(_) | Response::Ok | Response::Health(_) | Response::ScrubStats(_) => {
+                status::OK
+            }
+            Response::Busy { .. } => status::BUSY,
+            Response::Degraded { .. } => status::DEGRADED,
+            Response::Fault => status::FAULT,
+            Response::BadRequest => status::BAD_REQUEST,
+        }
+    }
+}
+
+/// One bank's health as carried in a [`HealthReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BankHealth {
+    /// Whether the bank is currently shedding requests (inside its
+    /// degraded window following observed error activity).
+    pub degraded: bool,
+    /// Whether the bank is administratively quarantined.
+    pub quarantined: bool,
+    /// Requests currently admitted and executing against the bank.
+    pub inflight: u32,
+    /// The admission bound (`inflight` saturating here means BUSY).
+    pub admission_limit: u32,
+    /// Error events the bank has observed since construction
+    /// (monotonic; inline corrections + recoveries + scrub finds).
+    pub observed_errors: u64,
+    /// Requests shed by this bank (BUSY + DEGRADED responses).
+    pub shed: u64,
+    /// Milliseconds until the degraded window expires (`0` when the
+    /// bank is healthy; quarantine reports the configured hint).
+    pub retry_after_ms: u32,
+}
+
+/// The `HEALTH` response payload: per-bank state plus optional scrubber
+/// aggregates, enough for a load generator or chaos campaign to assert
+/// that degradation was entered and exited.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HealthReport {
+    /// Per-bank health, indexed by bank.
+    pub banks: Vec<BankHealth>,
+    /// Background scrubber counters, when a scrubber is attached.
+    pub scrubber: Option<ScrubberStats>,
+}
+
+impl HealthReport {
+    /// Banks currently shedding (degraded or quarantined).
+    pub fn degraded_banks(&self) -> usize {
+        self.banks
+            .iter()
+            .filter(|b| b.degraded || b.quarantined)
+            .count()
+    }
+}
+
+/// The `SCRUB_STATS` response payload: scrubber counters plus the live
+/// FIT estimate, all zero/absent when no scrubber is attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ScrubSnapshot {
+    /// Whether a background scrubber is attached to the server.
+    pub attached: bool,
+    /// Scrubber work counters (zeroed when detached).
+    pub stats: ScrubberStats,
+    /// Error events behind the FIT estimate.
+    pub events: u64,
+    /// Device-hours of exposure behind the FIT estimate.
+    pub device_hours: f64,
+    /// Maximum-likelihood FIT per megabit (0.0 when unavailable).
+    pub fit_per_mbit: f64,
+}
+
+/// Errors produced by decoding a frame payload. Every variant is a
+/// clean rejection of hostile or damaged input — never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The payload ended before the fixed layout was complete.
+    Truncated {
+        /// Bytes the layout needed.
+        need: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The offending declared length.
+        len: usize,
+    },
+    /// A zero-length payload (no opcode byte).
+    Empty,
+    /// Unknown request opcode.
+    UnknownOpcode(u8),
+    /// Unknown response status byte.
+    UnknownStatus(u8),
+    /// The payload carried more bytes than its layout defines —
+    /// rejected so a framing desync is caught at the first message.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+    /// A health report declared more banks than [`MAX_HEALTH_BANKS`].
+    TooManyBanks {
+        /// The declared count.
+        banks: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated { need, got } => {
+                write!(f, "truncated frame: layout needs {need} bytes, got {got}")
+            }
+            ProtocolError::Oversized { len } => {
+                write!(f, "oversized frame: {len} bytes > max {MAX_FRAME_BYTES}")
+            }
+            ProtocolError::Empty => write!(f, "empty frame payload"),
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown request opcode {op:#04x}"),
+            ProtocolError::UnknownStatus(st) => write!(f, "unknown response status {st:#04x}"),
+            ProtocolError::TrailingBytes { extra } => {
+                write!(
+                    f,
+                    "frame carries {extra} trailing byte(s) beyond its layout"
+                )
+            }
+            ProtocolError::TooManyBanks { banks } => {
+                write!(
+                    f,
+                    "health report declares {banks} banks > max {MAX_HEALTH_BANKS}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Errors of the network tier. A malformed frame or a dead socket
+/// surfaces as one of these — never as a panic — so one hostile or
+/// unlucky connection can only ever take down itself.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure (reset, refused, broken pipe, ...).
+    Io(io::Error),
+    /// The peer sent bytes that do not decode as a frame.
+    Protocol(ProtocolError),
+    /// The peer closed the connection (EOF at a frame boundary is a
+    /// clean close; mid-frame it is reported as `Io`).
+    Closed,
+    /// A read or write missed its deadline.
+    DeadlineExpired,
+    /// The response id did not match the request id it answers — a
+    /// pipelining desync (client-side check).
+    IdMismatch {
+        /// Id the client expected.
+        expected: u32,
+        /// Id the frame carried.
+        got: u32,
+    },
+    /// The server answered with a non-success status where the caller
+    /// required success; carries the wire status byte (see [`status`]).
+    Rejected(u8),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "socket error: {e}"),
+            ServerError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ServerError::Closed => write!(f, "connection closed by peer"),
+            ServerError::DeadlineExpired => write!(f, "connection deadline expired"),
+            ServerError::IdMismatch { expected, got } => {
+                write!(f, "response id {got} does not answer request id {expected}")
+            }
+            ServerError::Rejected(st) => {
+                write!(f, "request rejected by server (status {st:#04x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ServerError::DeadlineExpired,
+            io::ErrorKind::UnexpectedEof => ServerError::Closed,
+            _ => ServerError::Io(e),
+        }
+    }
+}
+
+impl From<ProtocolError> for ServerError {
+    fn from(e: ProtocolError) -> Self {
+        ServerError::Protocol(e)
+    }
+}
+
+/// Maps a key to the aligned 64-bit word address the cache serves it
+/// from, through an invertible 51-bit mixer — the hashed key→bank
+/// routing: consecutive keys scatter across banks instead of marching
+/// through one line at a time, yet no two keys ever share a word.
+///
+/// Each step is a bijection on the 51-bit domain (odd multipliers are
+/// invertible mod 2^51; `x ^= x >> k` is triangular), so the
+/// composition is injective and the final `<< 3` maps it onto disjoint
+/// aligned words.
+///
+/// Why 51 bits: addresses stay below 2^54, so line numbers stay below
+/// 2^48 — the width of the engine's stored tag field. A wider key
+/// domain would let two keys collide in a *truncated* tag and silently
+/// alias each other's lines, breaking read-your-writes.
+pub fn route_key(key: u64) -> u64 {
+    const M51: u64 = (1 << 51) - 1;
+    debug_assert!(key <= MAX_KEY, "caller must validate the key first");
+    let mut x = key & M51;
+    x ^= x >> 26;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9) & M51;
+    x ^= x >> 24;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB) & M51;
+    x ^= x >> 27;
+    x << 3
+}
+
+/// Little-endian cursor over a frame payload: all reads bounds-checked,
+/// all failures typed.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self.pos.checked_add(n).ok_or(ProtocolError::Truncated {
+            need: usize::MAX,
+            got: self.buf.len(),
+        })?;
+        if end > self.buf.len() {
+            return Err(ProtocolError::Truncated {
+                need: end,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// The layout is complete: any unconsumed bytes are a framing error.
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.pos != self.buf.len() {
+            Err(ProtocolError::TrailingBytes {
+                extra: self.buf.len() - self.pos,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Appends one encoded request frame (length prefix included) to `buf`.
+pub fn encode_request(id: u32, req: &Request, buf: &mut Vec<u8>) {
+    let start = begin_frame(buf);
+    match *req {
+        Request::Get { key } => {
+            buf.push(opcode::GET);
+            buf.extend_from_slice(&id.to_le_bytes());
+            buf.extend_from_slice(&key.to_le_bytes());
+        }
+        Request::Set { key, value } => {
+            buf.push(opcode::SET);
+            buf.extend_from_slice(&id.to_le_bytes());
+            buf.extend_from_slice(&key.to_le_bytes());
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+        Request::Health => {
+            buf.push(opcode::HEALTH);
+            buf.extend_from_slice(&id.to_le_bytes());
+        }
+        Request::ScrubStats => {
+            buf.push(opcode::SCRUB_STATS);
+            buf.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+    end_frame(buf, start);
+}
+
+/// Decodes one request payload (the bytes after the length prefix).
+pub fn decode_request(payload: &[u8]) -> Result<(u32, Request), ProtocolError> {
+    if payload.is_empty() {
+        return Err(ProtocolError::Empty);
+    }
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    let id = c.u32()?;
+    let req = match op {
+        opcode::GET => Request::Get { key: c.u64()? },
+        opcode::SET => Request::Set {
+            key: c.u64()?,
+            value: c.u64()?,
+        },
+        opcode::HEALTH => Request::Health,
+        opcode::SCRUB_STATS => Request::ScrubStats,
+        other => return Err(ProtocolError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok((id, req))
+}
+
+/// Appends one encoded response frame (length prefix included) to `buf`.
+pub fn encode_response(id: u32, resp: &Response, buf: &mut Vec<u8>) {
+    let start = begin_frame(buf);
+    let push_head = |buf: &mut Vec<u8>, st: u8| {
+        buf.push(st);
+        buf.extend_from_slice(&id.to_le_bytes());
+    };
+    match resp {
+        Response::Value(v) => {
+            push_head(buf, status::OK);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Response::Ok => push_head(buf, status::OK),
+        Response::Busy { retry_after_ms } => {
+            push_head(buf, status::BUSY);
+            buf.extend_from_slice(&retry_after_ms.to_le_bytes());
+        }
+        Response::Degraded { retry_after_ms } => {
+            push_head(buf, status::DEGRADED);
+            buf.extend_from_slice(&retry_after_ms.to_le_bytes());
+        }
+        Response::Fault => push_head(buf, status::FAULT),
+        Response::BadRequest => push_head(buf, status::BAD_REQUEST),
+        Response::Health(report) => {
+            push_head(buf, status::OK);
+            encode_health(report, buf);
+        }
+        Response::ScrubStats(snap) => {
+            push_head(buf, status::OK);
+            encode_scrub(snap, buf);
+        }
+    }
+    end_frame(buf, start);
+}
+
+/// The response layouts a `GET`/`SET` answer can take, used by
+/// [`decode_response`] to disambiguate `OK` bodies (the status byte
+/// alone does not say whether an `OK` carries a value).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// Answer to `GET`: `OK` carries a `u64` value.
+    Get,
+    /// Answer to `SET`: `OK` is empty.
+    Set,
+    /// Answer to `HEALTH`: `OK` carries a [`HealthReport`].
+    Health,
+    /// Answer to `SCRUB_STATS`: `OK` carries a [`ScrubSnapshot`].
+    ScrubStats,
+}
+
+impl ResponseKind {
+    /// The response kind that answers `req`.
+    pub fn of(req: &Request) -> Self {
+        match req {
+            Request::Get { .. } => ResponseKind::Get,
+            Request::Set { .. } => ResponseKind::Set,
+            Request::Health => ResponseKind::Health,
+            Request::ScrubStats => ResponseKind::ScrubStats,
+        }
+    }
+}
+
+/// Decodes one response payload (the bytes after the length prefix).
+/// `kind` selects the `OK` body layout — the caller knows which request
+/// this frame answers (responses arrive in request order).
+pub fn decode_response(
+    payload: &[u8],
+    kind: ResponseKind,
+) -> Result<(u32, Response), ProtocolError> {
+    if payload.is_empty() {
+        return Err(ProtocolError::Empty);
+    }
+    let mut c = Cursor::new(payload);
+    let st = c.u8()?;
+    let id = c.u32()?;
+    let resp = match st {
+        status::OK => match kind {
+            ResponseKind::Get => Response::Value(c.u64()?),
+            ResponseKind::Set => Response::Ok,
+            ResponseKind::Health => Response::Health(decode_health(&mut c)?),
+            ResponseKind::ScrubStats => Response::ScrubStats(decode_scrub(&mut c)?),
+        },
+        status::BUSY => Response::Busy {
+            retry_after_ms: c.u32()?,
+        },
+        status::DEGRADED => Response::Degraded {
+            retry_after_ms: c.u32()?,
+        },
+        status::FAULT => Response::Fault,
+        status::BAD_REQUEST => Response::BadRequest,
+        other => return Err(ProtocolError::UnknownStatus(other)),
+    };
+    c.finish()?;
+    Ok((id, resp))
+}
+
+fn encode_health(report: &HealthReport, buf: &mut Vec<u8>) {
+    let banks = report.banks.len().min(MAX_HEALTH_BANKS);
+    buf.extend_from_slice(&(banks as u32).to_le_bytes());
+    for b in report.banks.iter().take(banks) {
+        buf.push(u8::from(b.degraded) | (u8::from(b.quarantined) << 1));
+        buf.extend_from_slice(&b.inflight.to_le_bytes());
+        buf.extend_from_slice(&b.admission_limit.to_le_bytes());
+        buf.extend_from_slice(&b.observed_errors.to_le_bytes());
+        buf.extend_from_slice(&b.shed.to_le_bytes());
+        buf.extend_from_slice(&b.retry_after_ms.to_le_bytes());
+    }
+    match &report.scrubber {
+        Some(s) => {
+            buf.push(1);
+            encode_scrubber_stats(s, buf);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn decode_health(c: &mut Cursor<'_>) -> Result<HealthReport, ProtocolError> {
+    let banks = c.u32()? as usize;
+    if banks > MAX_HEALTH_BANKS {
+        return Err(ProtocolError::TooManyBanks { banks });
+    }
+    let mut report = HealthReport {
+        banks: Vec::with_capacity(banks),
+        scrubber: None,
+    };
+    for _ in 0..banks {
+        let flags = c.u8()?;
+        report.banks.push(BankHealth {
+            degraded: flags & 1 != 0,
+            quarantined: flags & 2 != 0,
+            inflight: c.u32()?,
+            admission_limit: c.u32()?,
+            observed_errors: c.u64()?,
+            shed: c.u64()?,
+            retry_after_ms: c.u32()?,
+        });
+    }
+    if c.u8()? != 0 {
+        report.scrubber = Some(decode_scrubber_stats(c)?);
+    }
+    Ok(report)
+}
+
+fn encode_scrubber_stats(s: &ScrubberStats, buf: &mut Vec<u8>) {
+    for v in [
+        s.slices,
+        s.rows_scanned,
+        s.errors_found,
+        s.repairs,
+        s.full_passes,
+        s.uncorrectable,
+        s.busy_ns,
+        s.clean_rows_scanned,
+        s.clean_busy_ns,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn decode_scrubber_stats(c: &mut Cursor<'_>) -> Result<ScrubberStats, ProtocolError> {
+    Ok(ScrubberStats {
+        slices: c.u64()?,
+        rows_scanned: c.u64()?,
+        errors_found: c.u64()?,
+        repairs: c.u64()?,
+        full_passes: c.u64()?,
+        uncorrectable: c.u64()?,
+        busy_ns: c.u64()?,
+        clean_rows_scanned: c.u64()?,
+        clean_busy_ns: c.u64()?,
+    })
+}
+
+fn encode_scrub(snap: &ScrubSnapshot, buf: &mut Vec<u8>) {
+    buf.push(u8::from(snap.attached));
+    encode_scrubber_stats(&snap.stats, buf);
+    buf.extend_from_slice(&snap.events.to_le_bytes());
+    buf.extend_from_slice(&snap.device_hours.to_bits().to_le_bytes());
+    buf.extend_from_slice(&snap.fit_per_mbit.to_bits().to_le_bytes());
+}
+
+fn decode_scrub(c: &mut Cursor<'_>) -> Result<ScrubSnapshot, ProtocolError> {
+    Ok(ScrubSnapshot {
+        attached: c.u8()? != 0,
+        stats: decode_scrubber_stats(c)?,
+        events: c.u64()?,
+        device_hours: c.f64()?,
+        fit_per_mbit: c.f64()?,
+    })
+}
+
+/// Reserves the length prefix; returns the patch position.
+fn begin_frame(buf: &mut Vec<u8>) -> usize {
+    let start = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    start
+}
+
+/// Patches the length prefix with the payload size.
+fn end_frame(buf: &mut [u8], start: usize) {
+    let len = (buf.len() - start - 4) as u32;
+    buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Outcome of one [`read_frame`] attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A complete frame payload was read.
+    Frame,
+    /// Clean EOF at a frame boundary: the peer closed politely.
+    Eof,
+    /// The read deadline passed with *no* bytes of a new frame — the
+    /// connection is merely idle. Callers decide whether to keep
+    /// waiting or to reap.
+    Idle,
+}
+
+/// Reads one length-prefixed frame payload into `payload` (cleared
+/// first).
+///
+/// Timeout semantics: a timeout *before any byte of this frame* is
+/// reported as [`FrameRead::Idle`] — the connection is quiet, not
+/// broken. A timeout once the length prefix has started arriving is a
+/// hard [`ServerError::DeadlineExpired`]: `read_exact` may already have
+/// consumed part of the frame, so resynchronization is impossible and
+/// the connection must close — a half-sent frame can stall a
+/// connection for at most one read deadline, never wedge it.
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] on an oversized or empty declared length,
+/// [`ServerError::Io`]/[`ServerError::DeadlineExpired`] on transport
+/// failures, [`ServerError::Closed`] mapped from EOF inside a frame.
+pub fn read_frame<R: Read>(r: &mut R, payload: &mut Vec<u8>) -> Result<FrameRead, ServerError> {
+    let mut len_buf = [0u8; 4];
+    // First byte separately: EOF here is a clean close, and a timeout
+    // here is "idle" rather than a deadline violation.
+    match r.read(&mut len_buf[..1]) {
+        Ok(0) => return Ok(FrameRead::Eof),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            return Ok(FrameRead::Idle)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    read_exact_mapped(r, &mut len_buf[1..])?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized { len }.into());
+    }
+    if len == 0 {
+        return Err(ProtocolError::Empty.into());
+    }
+    payload.clear();
+    payload.resize(len, 0);
+    read_exact_mapped(r, payload)?;
+    Ok(FrameRead::Frame)
+}
+
+/// `read_exact` with EOF-inside-frame mapped to [`ServerError::Closed`].
+fn read_exact_mapped<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), ServerError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(ServerError::Closed),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Writes pre-encoded frame bytes, mapping transport failures.
+pub fn write_all<W: Write>(w: &mut W, bytes: &[u8]) -> Result<(), ServerError> {
+    w.write_all(bytes)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let cases = [
+            Request::Get { key: 0 },
+            Request::Get { key: MAX_KEY },
+            Request::Set {
+                key: 12345,
+                value: u64::MAX,
+            },
+            Request::Health,
+            Request::ScrubStats,
+        ];
+        for (i, req) in cases.iter().enumerate() {
+            let mut buf = Vec::new();
+            encode_request(i as u32, req, &mut buf);
+            let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+            assert_eq!(len + 4, buf.len());
+            let (id, back) = decode_request(&buf[4..]).unwrap();
+            assert_eq!(id, i as u32);
+            assert_eq!(back, *req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let health = Response::Health(HealthReport {
+            banks: vec![
+                BankHealth {
+                    degraded: true,
+                    inflight: 3,
+                    admission_limit: 64,
+                    observed_errors: 17,
+                    shed: 2,
+                    retry_after_ms: 40,
+                    ..BankHealth::default()
+                },
+                BankHealth::default(),
+            ],
+            scrubber: Some(ScrubberStats {
+                slices: 9,
+                repairs: 1,
+                ..ScrubberStats::default()
+            }),
+        });
+        let cases = [
+            (Response::Value(7), ResponseKind::Get),
+            (Response::Ok, ResponseKind::Set),
+            (Response::Busy { retry_after_ms: 5 }, ResponseKind::Get),
+            (Response::Degraded { retry_after_ms: 9 }, ResponseKind::Set),
+            (Response::Fault, ResponseKind::Get),
+            (Response::BadRequest, ResponseKind::Set),
+            (health, ResponseKind::Health),
+            (
+                Response::ScrubStats(ScrubSnapshot {
+                    attached: true,
+                    events: 3,
+                    device_hours: 1.5,
+                    fit_per_mbit: 0.25,
+                    ..ScrubSnapshot::default()
+                }),
+                ResponseKind::ScrubStats,
+            ),
+        ];
+        for (i, (resp, kind)) in cases.iter().enumerate() {
+            let mut buf = Vec::new();
+            encode_response(i as u32, resp, &mut buf);
+            let (id, back) = decode_response(&buf[4..], *kind).unwrap();
+            assert_eq!(id, i as u32);
+            assert_eq!(back, *resp);
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        let mut buf = Vec::new();
+        encode_request(1, &Request::Set { key: 1, value: 2 }, &mut buf);
+        let payload = &buf[4..];
+        for cut in 0..payload.len() {
+            match decode_request(&payload[..cut]) {
+                Err(_) => {}
+                Ok(v) => panic!("truncated to {cut} bytes decoded as {v:?}"),
+            }
+        }
+        assert_eq!(decode_request(&[]), Err(ProtocolError::Empty));
+        assert!(matches!(
+            decode_request(&[0xFF, 0, 0, 0, 0]),
+            Err(ProtocolError::UnknownOpcode(0xFF))
+        ));
+        // Trailing garbage beyond the layout is rejected.
+        let mut long = payload.to_vec();
+        long.push(0xAA);
+        assert!(matches!(
+            decode_request(&long),
+            Err(ProtocolError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn read_frame_rejects_oversized_lengths_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut payload = Vec::new();
+        match read_frame(&mut &bytes[..], &mut payload) {
+            Err(ServerError::Protocol(ProtocolError::Oversized { len })) => {
+                assert_eq!(len, u32::MAX as usize);
+            }
+            other => panic!("expected oversized rejection, got {other:?}"),
+        }
+        assert!(payload.capacity() < MAX_FRAME_BYTES);
+    }
+
+    #[test]
+    fn route_key_is_injective_on_samples_and_spreads_banks() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for key in 0..10_000u64 {
+            let addr = route_key(key);
+            assert_eq!(addr % 8, 0, "aligned");
+            assert!(seen.insert(addr), "collision at key {key}");
+        }
+        // Consecutive keys land on different lines most of the time —
+        // the routing actually scatters.
+        let same_line = (0..999u64)
+            .filter(|&k| route_key(k) / 64 == route_key(k + 1) / 64)
+            .count();
+        assert!(same_line < 100, "{same_line} consecutive-key line hits");
+    }
+}

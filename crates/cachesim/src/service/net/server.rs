@@ -1,0 +1,764 @@
+//! The fault-tolerant TCP tier over [`ConcurrentBankedCache`]:
+//! thread-per-connection acceptors, bounded per-bank admission with
+//! explicit backpressure, per-connection deadlines with idle reaping, a
+//! degraded mode that sheds requests targeting recovering banks, and a
+//! graceful drain shutdown.
+//!
+//! # Failure domains
+//!
+//! The server's whole design goal is that failure stays local:
+//!
+//! * a **malformed frame** produces a typed [`ServerError`] and closes
+//!   that one connection (after a best-effort `BAD_REQUEST` when the
+//!   request id could still be parsed) — the process never panics on
+//!   network input;
+//! * a **slow or dead client** hits its read/write deadline and is
+//!   reaped; its admission slots are released by RAII guards, so a
+//!   stuck socket can never leak bank capacity;
+//! * a **bank under recovery** sheds its requests with
+//!   `DEGRADED` + retry-after while every healthy bank keeps serving at
+//!   full throughput — degradation is graceful, not a hang;
+//! * a **full admission queue** answers `BUSY` immediately instead of
+//!   buffering unboundedly — memory stays bounded under any offered
+//!   load.
+//!
+//! # Degraded mode
+//!
+//! A bank enters the degraded window when the health monitor observes
+//! new error events on it (inline corrections, recoveries, scrub
+//! finds), when a handler's operation on it exceeds
+//! [`ServerConfig::slow_op_threshold`] (a recovery ran inline), or when
+//! an operation returns an uncorrectable `EngineError`. The window
+//! extends [`ServerConfig::degraded_window`] past the last trigger;
+//! while it is open, requests routed to the bank are shed with a
+//! `DEGRADED` response carrying the remaining window as its retry-after
+//! hint. Administrative [`CacheServer::quarantine_bank`] sheds
+//! indefinitely until lifted. The `HEALTH` opcode exposes all of it.
+
+use super::protocol::{
+    self, BankHealth, HealthReport, ProtocolError, Request, Response, ScrubSnapshot, ServerError,
+};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use twod_cache::{ConcurrentBankedCache, Scrubber};
+
+/// Configuration of a [`CacheServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Admission bound per bank: requests beyond this many concurrently
+    /// executing on one bank get `BUSY` instead of queueing.
+    pub max_inflight_per_bank: u32,
+    /// Per-connection read deadline: a frame that started arriving must
+    /// make progress within this window per read, or the connection is
+    /// closed.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline: a client that stops draining its
+    /// responses is disconnected rather than buffered against.
+    pub write_timeout: Duration,
+    /// Idle reaping horizon: a connection with no traffic at all for
+    /// this long is closed.
+    pub idle_timeout: Duration,
+    /// How long a bank stays degraded past its last error observation.
+    pub degraded_window: Duration,
+    /// Retry-after hint returned with `BUSY` (admission) sheds and with
+    /// quarantined-bank sheds.
+    pub retry_after: Duration,
+    /// Cadence of the background health monitor that watches per-bank
+    /// observed-error counters.
+    pub monitor_interval: Duration,
+    /// A single cache operation taking longer than this marks its bank
+    /// degraded (an inline recovery ran).
+    pub slow_op_threshold: Duration,
+    /// Hard cap on simultaneously open connections; accepts beyond it
+    /// are closed immediately.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_inflight_per_bank: 64,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            idle_timeout: Duration::from_secs(30),
+            degraded_window: Duration::from_millis(20),
+            retry_after: Duration::from_millis(5),
+            monitor_interval: Duration::from_millis(2),
+            slow_op_threshold: Duration::from_millis(5),
+            max_connections: 1024,
+        }
+    }
+}
+
+/// Monotonic aggregate counters of a running server.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections_accepted: u64,
+    /// Connections closed for idling past the horizon.
+    pub connections_reaped: u64,
+    /// Connections closed on a protocol error.
+    pub protocol_errors: u64,
+    /// Requests answered (any status).
+    pub requests: u64,
+    /// Requests shed with `BUSY` (admission bound).
+    pub busy_sheds: u64,
+    /// Requests shed with `DEGRADED` (recovery window / quarantine).
+    pub degraded_sheds: u64,
+    /// Requests answered `FAULT` (uncorrectable damage).
+    pub faults: u64,
+    /// Requests answered `BAD_REQUEST`.
+    pub bad_requests: u64,
+}
+
+/// Per-bank admission gate + degraded-mode state, all lock-free.
+struct BankGate {
+    /// Requests currently admitted and executing against the bank.
+    inflight: AtomicU32,
+    /// Nanoseconds (on the server's monotonic clock) until which the
+    /// bank sheds; `0` means healthy.
+    degraded_until_ns: AtomicU64,
+    /// Administrative quarantine: sheds until explicitly lifted.
+    quarantined: AtomicBool,
+    /// Requests this bank shed (`BUSY` + `DEGRADED`).
+    shed: AtomicU64,
+    /// Monitor bookkeeping: last observed-error count seen.
+    last_observed: AtomicU64,
+}
+
+impl BankGate {
+    fn new() -> Self {
+        BankGate {
+            inflight: AtomicU32::new(0),
+            degraded_until_ns: AtomicU64::new(0),
+            quarantined: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            last_observed: AtomicU64::new(0),
+        }
+    }
+}
+
+/// RAII admission slot: decrements the bank's inflight count on drop, so
+/// a panicking or erroring handler can never leak capacity.
+struct AdmitGuard<'a> {
+    gate: &'a BankGate,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.inflight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+struct Shared {
+    cache: Arc<ConcurrentBankedCache>,
+    scrubber: Option<Arc<Scrubber>>,
+    cfg: ServerConfig,
+    epoch: Instant,
+    /// Set once at shutdown: acceptors stop accepting, handlers finish
+    /// the request in flight (drain) and close.
+    stop: AtomicBool,
+    gates: Vec<BankGate>,
+    open_connections: AtomicU64,
+    stats: StatCells,
+}
+
+#[derive(Default)]
+struct StatCells {
+    connections_accepted: AtomicU64,
+    connections_reaped: AtomicU64,
+    protocol_errors: AtomicU64,
+    requests: AtomicU64,
+    busy_sheds: AtomicU64,
+    degraded_sheds: AtomicU64,
+    faults: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Marks a bank degraded for `cfg.degraded_window` from now. The
+    /// window only ever extends (monotonic max), so concurrent triggers
+    /// cannot shrink each other.
+    fn mark_degraded(&self, bank: usize) {
+        let until =
+            self.now_ns() + self.cfg.degraded_window.as_nanos().min(u64::MAX as u128) as u64;
+        self.gates[bank]
+            .degraded_until_ns
+            .fetch_max(until, Ordering::Relaxed);
+    }
+
+    /// Remaining shed window of a bank in milliseconds: `None` when the
+    /// bank is healthy.
+    fn shed_hint_ms(&self, bank: usize) -> Option<u32> {
+        let gate = &self.gates[bank];
+        if gate.quarantined.load(Ordering::Relaxed) {
+            return Some(self.cfg.retry_after.as_millis().clamp(1, u32::MAX as u128) as u32);
+        }
+        let until = gate.degraded_until_ns.load(Ordering::Relaxed);
+        if until == 0 {
+            return None;
+        }
+        let now = self.now_ns();
+        if now >= until {
+            return None;
+        }
+        Some((((until - now) / 1_000_000) + 1).min(u32::MAX as u64) as u32)
+    }
+
+    fn health_report(&self) -> HealthReport {
+        let now = self.now_ns();
+        let banks = self
+            .gates
+            .iter()
+            .enumerate()
+            .map(|(i, gate)| {
+                let until = gate.degraded_until_ns.load(Ordering::Relaxed);
+                let degraded = until > now;
+                BankHealth {
+                    degraded,
+                    quarantined: gate.quarantined.load(Ordering::Relaxed),
+                    inflight: gate.inflight.load(Ordering::Relaxed),
+                    admission_limit: self.cfg.max_inflight_per_bank,
+                    observed_errors: gate.last_observed.load(Ordering::Relaxed),
+                    shed: gate.shed.load(Ordering::Relaxed),
+                    retry_after_ms: self.shed_hint_ms(i).unwrap_or(0),
+                }
+            })
+            .collect();
+        HealthReport {
+            banks,
+            scrubber: self.scrubber.as_ref().map(|s| s.stats()),
+        }
+    }
+
+    fn scrub_snapshot(&self) -> ScrubSnapshot {
+        match &self.scrubber {
+            Some(s) => {
+                let rel = s.reliability();
+                ScrubSnapshot {
+                    attached: true,
+                    stats: s.stats(),
+                    events: rel.events,
+                    device_hours: rel.hours,
+                    fit_per_mbit: rel.fit_per_mbit,
+                }
+            }
+            None => ScrubSnapshot::default(),
+        }
+    }
+}
+
+/// A running `twod-server` instance: owns the listener, the acceptor
+/// and monitor threads, and one handler thread per live connection.
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use cachesim::net::{CacheServer, NetClient, ServerConfig};
+/// use twod_cache::{CacheConfig, ConcurrentBankedCache};
+///
+/// let cache = Arc::new(ConcurrentBankedCache::new(CacheConfig::l1_64kb(), 4));
+/// let server = CacheServer::spawn(cache, None, "127.0.0.1:0", ServerConfig::default()).unwrap();
+/// let mut client = NetClient::connect(server.local_addr()).unwrap();
+/// client.set(7, 42).unwrap();
+/// assert_eq!(client.get(7).unwrap(), 42);
+/// server.shutdown();
+/// ```
+pub struct CacheServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
+    /// Live + finished handler threads; reaped opportunistically by the
+    /// acceptor and fully joined at shutdown.
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl CacheServer {
+    /// Binds `addr` and starts serving `cache` (optionally reporting the
+    /// given scrubber's telemetry over `HEALTH`/`SCRUB_STATS`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address cannot be bound.
+    pub fn spawn(
+        cache: Arc<ConcurrentBankedCache>,
+        scrubber: Option<Arc<Scrubber>>,
+        addr: &str,
+        cfg: ServerConfig,
+    ) -> Result<CacheServer, ServerError> {
+        let listener = TcpListener::bind(addr).map_err(ServerError::Io)?;
+        let local_addr = listener.local_addr().map_err(ServerError::Io)?;
+        let banks = cache.banks();
+        let shared = Arc::new(Shared {
+            cache,
+            scrubber,
+            cfg,
+            epoch: Instant::now(),
+            stop: AtomicBool::new(false),
+            gates: (0..banks).map(|_| BankGate::new()).collect(),
+            open_connections: AtomicU64::new(0),
+            stats: StatCells::default(),
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("twod-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared, &handlers))
+                .map_err(ServerError::Io)?
+        };
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("twod-health-monitor".into())
+                .spawn(move || monitor_loop(&shared))
+                .map_err(ServerError::Io)?
+        };
+        Ok(CacheServer {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            monitor: Some(monitor),
+            handlers,
+        })
+    }
+
+    /// The address the server is listening on (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the aggregate request counters.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared.stats;
+        ServerStats {
+            connections_accepted: s.connections_accepted.load(Ordering::Relaxed),
+            connections_reaped: s.connections_reaped.load(Ordering::Relaxed),
+            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+            requests: s.requests.load(Ordering::Relaxed),
+            busy_sheds: s.busy_sheds.load(Ordering::Relaxed),
+            degraded_sheds: s.degraded_sheds.load(Ordering::Relaxed),
+            faults: s.faults.load(Ordering::Relaxed),
+            bad_requests: s.bad_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The health report the `HEALTH` opcode serves, available
+    /// in-process without a socket.
+    pub fn health(&self) -> HealthReport {
+        self.shared.health_report()
+    }
+
+    /// Administratively quarantines (or lifts quarantine from) one bank:
+    /// while quarantined, every request routed to the bank is shed with
+    /// `DEGRADED`. Chaos campaigns use this to force degradation
+    /// deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range (an operator error, not network
+    /// input — requests can never reach this).
+    pub fn quarantine_bank(&self, bank: usize, quarantined: bool) {
+        self.shared.gates[bank]
+            .quarantined
+            .store(quarantined, Ordering::Relaxed);
+    }
+
+    /// Gracefully shuts down: stops accepting, lets every handler finish
+    /// the request it is executing and flush its responses (drain), then
+    /// joins all threads. Idempotent-safe by construction (consumes the
+    /// server).
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.monitor.take() {
+            let _ = h.join();
+        }
+        let handlers = std::mem::take(
+            &mut *self
+                .handlers
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        );
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept` with a self-connect;
+        // if that fails (e.g. the listener already died) the acceptor's
+        // own error path exits the loop.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+impl Drop for CacheServer {
+    fn drop(&mut self) {
+        // `shutdown()` takes `self` by value and clears the handles; a
+        // plain drop performs the same sequence best-effort.
+        if self.acceptor.is_some() || self.monitor.is_some() {
+            self.begin_shutdown();
+            if let Some(h) = self.acceptor.take() {
+                let _ = h.join();
+            }
+            if let Some(h) = self.monitor.take() {
+                let _ = h.join();
+            }
+            let handlers = std::mem::take(
+                &mut *self
+                    .handlers
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            );
+            for h in handlers {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for CacheServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CacheServer({} on {}, {:?})",
+            self.shared.cache.banks(),
+            self.local_addr,
+            self.stats()
+        )
+    }
+}
+
+/// Accept loop: one handler thread per connection, with opportunistic
+/// reaping of finished handler handles so the vector stays bounded by
+/// the live connection count.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            // The self-connect (or a late client) during shutdown.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        if shared.open_connections.load(Ordering::Relaxed) >= shared.cfg.max_connections as u64 {
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        shared.open_connections.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        {
+            // Reap finished handlers so the handle list tracks live
+            // connections, not connection history.
+            let mut list = handlers
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            list.retain(|h| !h.is_finished());
+            let conn_shared = Arc::clone(shared);
+            match std::thread::Builder::new()
+                .name("twod-conn".into())
+                .spawn(move || {
+                    handle_connection(stream, &conn_shared);
+                    conn_shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+                }) {
+                Ok(handle) => list.push(handle),
+                Err(_) => {
+                    // Spawn failure (resource exhaustion): shed the
+                    // connection instead of dying.
+                    shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Health monitor: watches per-bank observed-error counters and opens
+/// the degraded window on any new activity, so requests arriving while
+/// a bank is mid-recovery are shed rather than queued behind the
+/// recovery lock.
+fn monitor_loop(shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        for bank in 0..shared.cache.banks() {
+            let observed = shared.cache.bank_observed_errors(bank);
+            let prev = shared.gates[bank]
+                .last_observed
+                .swap(observed, Ordering::Relaxed);
+            if observed > prev {
+                shared.mark_degraded(bank);
+            }
+        }
+        std::thread::sleep(shared.cfg.monitor_interval);
+    }
+}
+
+/// Per-connection handler: frame loop with deadlines, pipelined
+/// processing, and typed-error close paths.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // Socket deadlines: every blocking read/write call is bounded, so a
+    // dead peer cannot wedge this thread past its timeout.
+    if stream
+        .set_read_timeout(Some(shared.cfg.read_timeout))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(shared.cfg.write_timeout))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    let mut payload: Vec<u8> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
+    let mut last_activity = Instant::now();
+    let close_reason = loop {
+        // Drain contract: once shutdown begins we stop reading new
+        // frames; everything already answered has been flushed below.
+        if shared.stop.load(Ordering::SeqCst) {
+            break CloseReason::Drained;
+        }
+        match protocol::read_frame(&mut reader, &mut payload) {
+            Ok(protocol::FrameRead::Frame) => {
+                last_activity = Instant::now();
+                out.clear();
+                let ok = process_payload(shared, &payload, &mut out);
+                if !ok {
+                    // Undecodable frame: best-effort close. `out` may
+                    // hold a BAD_REQUEST if the id was parseable.
+                    shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = writer.write_all(&out);
+                    let _ = writer.flush();
+                    break CloseReason::Protocol;
+                }
+                if protocol::write_all(&mut writer, &out).is_err() {
+                    break CloseReason::WriteFailed;
+                }
+                // Pipelining: if more request bytes are already
+                // buffered, keep processing before paying a flush —
+                // responses batch up naturally. Flush before the next
+                // blocking read so the client always sees its answers.
+                if reader.buffer().is_empty() && writer.flush().is_err() {
+                    break CloseReason::WriteFailed;
+                }
+            }
+            Ok(protocol::FrameRead::Eof) => break CloseReason::PeerClosed,
+            Ok(protocol::FrameRead::Idle) => {
+                // Idle poll: nothing mid-frame. Reap when idle too long.
+                if last_activity.elapsed() >= shared.cfg.idle_timeout {
+                    shared
+                        .stats
+                        .connections_reaped
+                        .fetch_add(1, Ordering::Relaxed);
+                    break CloseReason::Idle;
+                }
+            }
+            Err(ServerError::Protocol(_)) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                break CloseReason::Protocol;
+            }
+            Err(_) => break CloseReason::PeerClosed,
+        }
+    };
+    let _ = writer.flush();
+    if let Ok(stream) = writer.into_inner() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    let _ = close_reason;
+}
+
+/// Why a connection's frame loop ended (internal bookkeeping only).
+enum CloseReason {
+    PeerClosed,
+    Idle,
+    Protocol,
+    WriteFailed,
+    Drained,
+}
+
+/// Decodes and executes one request payload, appending the encoded
+/// response to `out`. Returns `false` when the payload was undecodable
+/// (the connection should close); a decodable-but-invalid request gets
+/// a `BAD_REQUEST` response and keeps the connection.
+fn process_payload(shared: &Shared, payload: &[u8], out: &mut Vec<u8>) -> bool {
+    let (id, req) = match protocol::decode_request(payload) {
+        Ok(v) => v,
+        Err(ProtocolError::UnknownOpcode(_)) => {
+            // The id field sits at a fixed offset even for unknown
+            // opcodes; answer BAD_REQUEST so a confused-but-framed
+            // client learns something, then drop the connection (we
+            // cannot trust the framing that follows an unknown body).
+            if payload.len() >= 5 {
+                let id = u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]);
+                protocol::encode_response(id, &Response::BadRequest, out);
+            }
+            return false;
+        }
+        Err(_) => return false,
+    };
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let resp = execute(shared, &req);
+    match &resp {
+        Response::Busy { .. } => {
+            shared.stats.busy_sheds.fetch_add(1, Ordering::Relaxed);
+        }
+        Response::Degraded { .. } => {
+            shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
+        }
+        Response::Fault => {
+            shared.stats.faults.fetch_add(1, Ordering::Relaxed);
+        }
+        Response::BadRequest => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    protocol::encode_response(id, &resp, out);
+    true
+}
+
+/// Executes one decoded request against the cache. This is the only
+/// place network input meets the storage engine, and it is panic-free:
+/// key validation happens before any address arithmetic, admission and
+/// degradation are checked before any lock is touched, and the engine's
+/// typed [`EngineError`](memarray::EngineError) maps to `FAULT`.
+fn execute(shared: &Shared, req: &Request) -> Response {
+    match *req {
+        Request::Health => Response::Health(shared.health_report()),
+        Request::ScrubStats => Response::ScrubStats(shared.scrub_snapshot()),
+        Request::Get { key } => match admit(shared, key) {
+            Admission::Go { addr, bank, guard } => {
+                let begun = Instant::now();
+                let result = shared.cache.read(addr);
+                observe_op(shared, bank, begun);
+                drop(guard);
+                match result {
+                    Ok(v) => Response::Value(v),
+                    Err(_) => {
+                        shared.mark_degraded(bank);
+                        Response::Fault
+                    }
+                }
+            }
+            Admission::Shed(resp) => resp,
+        },
+        Request::Set { key, value } => match admit(shared, key) {
+            Admission::Go { addr, bank, guard } => {
+                let begun = Instant::now();
+                let result = shared.cache.write(addr, value);
+                observe_op(shared, bank, begun);
+                drop(guard);
+                match result {
+                    Ok(()) => Response::Ok,
+                    Err(_) => {
+                        shared.mark_degraded(bank);
+                        Response::Fault
+                    }
+                }
+            }
+            Admission::Shed(resp) => resp,
+        },
+    }
+}
+
+/// Outcome of the admission pipeline for one keyed request.
+enum Admission<'a> {
+    /// Admitted: execute against `addr` on `bank`, holding the slot.
+    Go {
+        addr: u64,
+        bank: usize,
+        guard: AdmitGuard<'a>,
+    },
+    /// Shed with this response (BUSY / DEGRADED / BAD_REQUEST).
+    Shed(Response),
+}
+
+/// Validates the key, routes it, and runs the degraded + admission
+/// checks — in that order, so a degraded bank sheds before consuming an
+/// admission slot.
+fn admit(shared: &Shared, key: u64) -> Admission<'_> {
+    if key > protocol::MAX_KEY {
+        return Admission::Shed(Response::BadRequest);
+    }
+    let addr = protocol::route_key(key);
+    let bank = shared.cache.bank_of(addr);
+    let gate = &shared.gates[bank];
+    if let Some(retry_after_ms) = shared.shed_hint_ms(bank) {
+        gate.shed.fetch_add(1, Ordering::Relaxed);
+        return Admission::Shed(Response::Degraded { retry_after_ms });
+    }
+    // Bounded admission: CAS-increment under the limit, BUSY beyond it.
+    let limit = shared.cfg.max_inflight_per_bank;
+    let mut current = gate.inflight.load(Ordering::Relaxed);
+    loop {
+        if current >= limit {
+            gate.shed.fetch_add(1, Ordering::Relaxed);
+            let retry_after_ms = shared
+                .cfg
+                .retry_after
+                .as_millis()
+                .clamp(1, u32::MAX as u128) as u32;
+            return Admission::Shed(Response::Busy { retry_after_ms });
+        }
+        match gate.inflight.compare_exchange_weak(
+            current,
+            current + 1,
+            Ordering::Acquire,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                return Admission::Go {
+                    addr,
+                    bank,
+                    guard: AdmitGuard { gate },
+                }
+            }
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Post-operation hook: an operation slow enough to have run an inline
+/// recovery opens the bank's degraded window, so the *next* requests
+/// shed instead of convoying behind further recovery work.
+fn observe_op(shared: &Shared, bank: usize, begun: Instant) {
+    if begun.elapsed() >= shared.cfg.slow_op_threshold {
+        shared.mark_degraded(bank);
+    }
+}

@@ -1,0 +1,328 @@
+//! Loopback integration tests for the network tier: a real
+//! [`CacheServer`] on `127.0.0.1:0`, real TCP sockets, and the
+//! robustness contract pinned end to end — read-your-writes across a
+//! forced disconnect/reconnect, degraded-mode shedding under
+//! quarantine, HEALTH introspection over the wire, and malformed
+//! frames closing one connection without harming the server.
+
+use cachesim::net::protocol::{self, status, MAX_KEY};
+use cachesim::net::{
+    CacheServer, FrameRead, NetClient, Request, Response, ServerConfig, ServerError,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use twod_cache::{CacheConfig, ConcurrentBankedCache, TwoDScheme};
+
+const BANKS: usize = 4;
+
+/// A small 4-bank server on an ephemeral loopback port, plus the cache
+/// handle (for key→bank routing in the quarantine test).
+fn spawn_server() -> (CacheServer, Arc<ConcurrentBankedCache>) {
+    let config = CacheConfig {
+        sets: 16,
+        ways: 2,
+        data_scheme: TwoDScheme::l1_paper(),
+        tag_scheme: TwoDScheme {
+            data_bits: 50,
+            ..TwoDScheme::l1_paper()
+        },
+    };
+    let cache = Arc::new(ConcurrentBankedCache::new(config, BANKS));
+    let server = CacheServer::spawn(
+        Arc::clone(&cache),
+        None,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    (server, cache)
+}
+
+/// The first key at/after `start` that routes to `bank`.
+fn key_on_bank(cache: &ConcurrentBankedCache, bank: usize, start: u64) -> u64 {
+    (start..start + 10_000)
+        .find(|&k| cache.bank_of(protocol::route_key(k)) == bank)
+        .expect("a key routing to the bank within 10k candidates")
+}
+
+#[test]
+fn read_your_writes_survives_forced_reconnect() {
+    let (server, _cache) = spawn_server();
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let keys: Vec<u64> = (0..64u64).map(|i| i * 977 + 11).collect();
+    for &k in &keys {
+        client.set(k, k.wrapping_mul(0x9E37)).expect("set acked");
+    }
+    for &k in &keys {
+        assert_eq!(client.get(k).expect("get"), k.wrapping_mul(0x9E37));
+    }
+
+    // Kill the connection abruptly (no polite shutdown) and reconnect:
+    // every acknowledged write must still be visible. This is the
+    // chaos campaign's core invariant, pinned deterministically here.
+    client.reconnect().expect("reconnect");
+    for &k in &keys {
+        assert_eq!(
+            client.get(k).expect("get after reconnect"),
+            k.wrapping_mul(0x9E37),
+            "acked write to key {k} lost across reconnect"
+        );
+    }
+
+    // Overwrites after the reconnect win, and survive another one.
+    for &k in &keys[..8] {
+        client.set(k, !k).expect("overwrite");
+    }
+    client.reconnect().expect("second reconnect");
+    for &k in &keys[..8] {
+        assert_eq!(client.get(k).expect("get"), !k);
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn quarantined_bank_sheds_with_hint_while_others_serve() {
+    let (server, cache) = spawn_server();
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let quarantined_key = key_on_bank(&cache, 0, 1);
+    let healthy_key = key_on_bank(&cache, 1, 1);
+    client.set(quarantined_key, 111).expect("seed quarantined");
+    client.set(healthy_key, 222).expect("seed healthy");
+
+    server.quarantine_bank(0, true);
+
+    // Requests to the quarantined bank shed immediately with a usable
+    // retry-after hint — no hang, no queueing.
+    match client
+        .request(&Request::Get {
+            key: quarantined_key,
+        })
+        .expect("shed response arrives")
+    {
+        Response::Degraded { retry_after_ms } => {
+            assert!(retry_after_ms > 0, "hint must be actionable");
+        }
+        other => panic!("expected Degraded from quarantined bank, got {other:?}"),
+    }
+    // Writes shed too — a quarantined bank accepts nothing.
+    assert!(matches!(
+        client
+            .request(&Request::Set {
+                key: quarantined_key,
+                value: 5,
+            })
+            .expect("shed response arrives"),
+        Response::Degraded { .. }
+    ));
+
+    // Healthy banks keep serving at full function during the outage.
+    assert_eq!(client.get(healthy_key).expect("healthy get"), 222);
+
+    // HEALTH over the wire reports exactly one bank down, as
+    // quarantined (not error-degraded).
+    let report = client.health().expect("health");
+    assert_eq!(report.banks.len(), BANKS);
+    assert_eq!(report.degraded_banks(), 1);
+    assert!(report.banks[0].quarantined);
+    assert!(report.banks[0].shed >= 2);
+
+    // Lifting the quarantine restores service and the stored value —
+    // shedding dropped requests, never state.
+    server.quarantine_bank(0, false);
+    match client
+        .get_retry(quarantined_key, 8)
+        .expect("retry after lift")
+    {
+        Response::Value(v) => assert_eq!(v, 111),
+        other => panic!("bank did not recover after quarantine lift: {other:?}"),
+    }
+    assert_eq!(client.health().expect("health").degraded_banks(), 0);
+
+    let stats = server.stats();
+    assert!(stats.degraded_sheds >= 2);
+    server.shutdown();
+}
+
+#[test]
+fn health_and_scrub_stats_over_the_wire() {
+    let (server, _cache) = spawn_server();
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let report = client.health().expect("health");
+    assert_eq!(report.banks.len(), BANKS);
+    for bank in &report.banks {
+        assert_eq!(
+            bank.admission_limit,
+            ServerConfig::default().max_inflight_per_bank
+        );
+        assert!(!bank.degraded && !bank.quarantined);
+        assert_eq!(bank.retry_after_ms, 0);
+    }
+    // No scrubber attached to this server: health omits the aggregate
+    // and SCRUB_STATS reports detached with zeroed counters.
+    assert!(report.scrubber.is_none());
+    let snap = client.scrub_stats().expect("scrub stats");
+    assert!(!snap.attached);
+    assert_eq!(snap.stats.rows_scanned, 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn oversized_key_is_bad_request_not_truncation() {
+    let (server, _cache) = spawn_server();
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    for bad_key in [MAX_KEY + 1, u64::MAX] {
+        assert_eq!(
+            client
+                .request(&Request::Get { key: bad_key })
+                .expect("response arrives"),
+            Response::BadRequest
+        );
+        assert!(matches!(
+            client.set(bad_key, 1),
+            Err(ServerError::Rejected(status::BAD_REQUEST))
+        ));
+    }
+    // The boundary key itself is valid.
+    client.set(MAX_KEY, 77).expect("max key set");
+    assert_eq!(client.get(MAX_KEY).expect("max key get"), 77);
+
+    assert!(server.stats().bad_requests >= 4);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_batch_answers_in_order() {
+    let (server, _cache) = spawn_server();
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let reqs: Vec<Request> = (0..32u64)
+        .flat_map(|i| {
+            [
+                Request::Set {
+                    key: 5000 + i,
+                    value: i * 3,
+                },
+                Request::Get { key: 5000 + i },
+            ]
+        })
+        .collect();
+    let resps = client.pipeline(&reqs).expect("pipelined batch");
+    assert_eq!(resps.len(), reqs.len());
+    for (i, pair) in resps.chunks(2).enumerate() {
+        assert_eq!(pair[0], Response::Ok, "set #{i}");
+        assert_eq!(pair[1], Response::Value(i as u64 * 3), "get #{i}");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_close_one_connection_not_the_server() {
+    let (server, _cache) = spawn_server();
+    let addr = server.local_addr();
+
+    // An unknown opcode in a well-framed payload: the server answers
+    // BAD_REQUEST (best effort, echoing the id) and closes.
+    {
+        let stream = TcpStream::connect(addr).expect("raw connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let mut raw = stream.try_clone().expect("clone");
+        let mut frame = 5u32.to_le_bytes().to_vec();
+        frame.push(0xEE);
+        frame.extend_from_slice(&42u32.to_le_bytes());
+        raw.write_all(&frame).expect("send bogus opcode");
+        raw.flush().unwrap();
+
+        let mut reader = std::io::BufReader::new(stream);
+        let mut payload = Vec::new();
+        let mut got_bad_request = false;
+        loop {
+            match protocol::read_frame(&mut reader, &mut payload) {
+                Ok(FrameRead::Frame) => {
+                    let (id, resp) =
+                        protocol::decode_response(&payload, cachesim::net::ResponseKind::Set)
+                            .expect("decodable rejection");
+                    assert_eq!(id, 42);
+                    assert_eq!(resp, Response::BadRequest);
+                    got_bad_request = true;
+                }
+                Ok(FrameRead::Idle) => continue,
+                // Connection closed after the rejection.
+                Ok(FrameRead::Eof) | Err(_) => break,
+            }
+        }
+        assert!(got_bad_request, "server should reject before closing");
+    }
+
+    // A hostile length prefix (4 GiB): rejected from the prefix alone,
+    // connection closed without a response.
+    {
+        let stream = TcpStream::connect(addr).expect("raw connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut raw = stream.try_clone().expect("clone");
+        raw.write_all(&u32::MAX.to_le_bytes()).expect("send length");
+        raw.write_all(&[0u8; 32]).expect("send junk");
+        raw.flush().unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut payload = Vec::new();
+        loop {
+            match protocol::read_frame(&mut reader, &mut payload) {
+                Ok(FrameRead::Eof) | Err(_) => break,
+                Ok(FrameRead::Idle) | Ok(FrameRead::Frame) => continue,
+            }
+        }
+    }
+
+    // The server survived both hostile connections: a fresh client
+    // gets full service, and the errors were counted.
+    let mut client = NetClient::connect(addr).expect("post-abuse connect");
+    client.set(9, 81).expect("set");
+    assert_eq!(client.get(9).expect("get"), 81);
+    assert!(server.stats().protocol_errors >= 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_then_silence_is_reaped_by_deadline() {
+    let (server, _cache) = spawn_server();
+
+    // Send half a frame (length says 10 bytes, deliver 3) and go
+    // silent: the server's mid-frame deadline must close the
+    // connection rather than wedge the handler thread.
+    let stream = TcpStream::connect(server.local_addr()).expect("raw connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut raw = stream.try_clone().expect("clone");
+    raw.write_all(&10u32.to_le_bytes()).expect("length");
+    raw.write_all(&[1, 2, 3]).expect("partial payload");
+    raw.flush().unwrap();
+
+    let mut reader = std::io::BufReader::new(stream);
+    let mut payload = Vec::new();
+    loop {
+        match protocol::read_frame(&mut reader, &mut payload) {
+            Ok(FrameRead::Eof) | Err(_) => break,
+            Ok(FrameRead::Idle) | Ok(FrameRead::Frame) => continue,
+        }
+    }
+
+    // Server is still healthy for everyone else.
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    client.set(3, 14).expect("set");
+    assert_eq!(client.get(3).expect("get"), 14);
+    server.shutdown();
+}

@@ -286,22 +286,36 @@ impl Scrubber {
     }
 
     /// Pauses the workers, blocking until every one is parked outside
-    /// any bank lock. Idempotent.
+    /// any bank lock. Idempotent. Poison-tolerant: a worker that
+    /// panicked mid-slice must not also wedge the control plane (the
+    /// network tier calls these on live traffic paths).
     pub fn pause(&self) {
-        let mut ctl = self.shared.control.lock().unwrap();
+        let mut ctl = self
+            .shared
+            .control
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         if ctl.mode == Mode::Stopping {
             return;
         }
         ctl.mode = Mode::Paused;
         self.shared.wake.notify_all();
         while ctl.idle_workers < self.workers.len() {
-            ctl = self.shared.wake.wait(ctl).unwrap();
+            ctl = self
+                .shared
+                .wake
+                .wait(ctl)
+                .unwrap_or_else(|p| p.into_inner());
         }
     }
 
     /// Restarts paused workers. Idempotent.
     pub fn resume(&self) {
-        let mut ctl = self.shared.control.lock().unwrap();
+        let mut ctl = self
+            .shared
+            .control
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         if ctl.mode == Mode::Paused {
             ctl.mode = Mode::Running;
             self.shared.wake.notify_all();
@@ -403,7 +417,7 @@ fn worker_loop(shared: &Shared, index: usize, workers: usize) {
     loop {
         // Park while paused; exit on stop.
         {
-            let mut ctl = shared.control.lock().unwrap();
+            let mut ctl = shared.control.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 match ctl.mode {
                     Mode::Running => break,
@@ -411,7 +425,7 @@ fn worker_loop(shared: &Shared, index: usize, workers: usize) {
                     Mode::Paused => {
                         ctl.idle_workers += 1;
                         shared.wake.notify_all();
-                        ctl = shared.wake.wait(ctl).unwrap();
+                        ctl = shared.wake.wait(ctl).unwrap_or_else(|p| p.into_inner());
                         ctl.idle_workers -= 1;
                     }
                 }
@@ -472,9 +486,12 @@ fn worker_loop(shared: &Shared, index: usize, workers: usize) {
         }
 
         // Interruptible sleep: stop/pause wake us immediately.
-        let ctl = shared.control.lock().unwrap();
+        let ctl = shared.control.lock().unwrap_or_else(|p| p.into_inner());
         if ctl.mode == Mode::Running && !interval.is_zero() {
-            let _ = shared.wake.wait_timeout(ctl, interval).unwrap();
+            let _ = shared
+                .wake
+                .wait_timeout(ctl, interval)
+                .unwrap_or_else(|p| p.into_inner());
         }
     }
 }

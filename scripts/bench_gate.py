@@ -45,6 +45,20 @@ they are reported informationally but never failed on a ratio. They
 ARE still required to be present: a missing row fails the gate, which
 is the emission contract the campaign driver is held to.
 
+BENCH_net.json rows come from the network load generator (`net_load`):
+`net.ops` is mean wall-clock ns per pipelined request over loopback TCP,
+and `net.p50`/`net.p99`/`net.p999` are the tail-latency percentiles. All
+four are runner-dependent through and through — loopback scheduling,
+socket buffer behaviour, and core count dominate them, and on a
+single-CPU runner client and server threads time-share one core — so
+every `net.*` row is informational, never failed on a ratio. They ARE
+required to be present and parseable: a missing or malformed row fails
+the gate, which pins the emission contract (the p99 column existing and
+carrying a number is the check; its value is for the artifact trail).
+Correctness under load is gated separately: the `net_load` process
+itself exits nonzero on any wrong read, and the `net-smoke` CI lane runs
+the network chaos phase.
+
 BENCH_service.json rows are aggregate wall-clock ns/op of the concurrent
 sharded cache service (`service.seq_ops` = lock-free sequential
 reference, `service.conc_ops_Nt` = N worker threads over 8 banks,
@@ -185,6 +199,10 @@ def main():
                 # sleep-cadence jitter on oversubscribed runners (see
                 # module docstring); presence is still enforced above.
                 or (key[0] == "scrub" and key[1].startswith("campaign_"))
+                # Loopback TCP throughput/latency rows are dominated by
+                # socket scheduling and core count (see module
+                # docstring); presence is still enforced above.
+                or key[0] == "net"
             )
             if runner_dependent:
                 print(f"  [info] {name}: baseline {base_ns:.1f} ns, "

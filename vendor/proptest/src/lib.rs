@@ -2,8 +2,9 @@
 //!
 //! The build environment has no network access to crates.io, so the
 //! workspace vendors the slice of the proptest API its tests use: the
-//! [`proptest!`] macro, [`Strategy`] with `prop_map`, `any::<T>()`,
-//! integer-range and tuple strategies, [`collection::vec`],
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, `any::<T>()`
+//! (including fixed-size arrays), integer-range and tuple strategies,
+//! [`prop_oneof!`] unions, [`collection::vec`], [`option::of`],
 //! [`sample::subsequence`], and the `prop_assert*` / `prop_assume!`
 //! macros.
 //!
@@ -124,6 +125,12 @@ impl_arbitrary_via_standard!(
     u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f32, f64
 );
 
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
 /// The strategy returned by [`any`].
 #[derive(Clone, Copy, Debug)]
 pub struct Any<T> {
@@ -183,7 +190,92 @@ macro_rules! impl_strategy_for_tuples {
 }
 impl_strategy_for_tuples!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
     A, B, C, D, E, F
-));
+)(A, B, C, D, E, F, G)(A, B, C, D, E, F, G, H));
+
+/// A uniform choice among same-valued strategies — the engine behind
+/// [`prop_oneof!`]. Arms are type-erased so heterogeneous strategy
+/// types can share one union.
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+/// One type-erased arm of a [`Union`] (see [`prop_oneof!`]).
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+impl<T> Union<T> {
+    /// Builds a union over `arms` (used by [`prop_oneof!`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("arms", &self.arms.len())
+            .finish()
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rand::Rng::gen_range(rng, 0..self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
+/// Chooses uniformly among the given strategies each case (real
+/// proptest also supports `weight => strategy` arms; this subset does
+/// not).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $(
+                {
+                    let __s = $strat;
+                    ::std::boxed::Box::new(move |__rng: &mut $crate::TestRng| {
+                        $crate::Strategy::sample(&__s, __rng)
+                    }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+                }
+            ),+
+        ])
+    };
+}
+
+/// Strategies over `Option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`of`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// A strategy yielding `None` about a quarter of the time and
+    /// `Some` of the inner strategy's value otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rand::Rng::gen_range(rng, 0..4u8) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
 
 /// Sizes accepted by [`collection::vec`] and [`sample::subsequence`].
 pub trait IntoSizeRange {
@@ -273,8 +365,8 @@ pub mod sample {
 /// The usual proptest imports.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        Config as ProptestConfig, Just, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Config as ProptestConfig, Just, Strategy, Union,
     };
 }
 
