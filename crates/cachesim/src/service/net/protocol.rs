@@ -634,6 +634,7 @@ fn encode_scrubber_stats(s: &ScrubberStats, buf: &mut Vec<u8>) {
         s.busy_ns,
         s.clean_rows_scanned,
         s.clean_busy_ns,
+        s.clean_bytes_scanned,
     ] {
         buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -650,6 +651,7 @@ fn decode_scrubber_stats(c: &mut Cursor<'_>) -> Result<ScrubberStats, ProtocolEr
         busy_ns: c.u64()?,
         clean_rows_scanned: c.u64()?,
         clean_busy_ns: c.u64()?,
+        clean_bytes_scanned: c.u64()?,
     })
 }
 

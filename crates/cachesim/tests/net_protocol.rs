@@ -22,7 +22,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 }
 
 fn arb_scrubber_stats() -> impl Strategy<Value = ScrubberStats> {
-    any::<[u64; 9]>().prop_map(|v| ScrubberStats {
+    any::<[u64; 10]>().prop_map(|v| ScrubberStats {
         slices: v[0],
         rows_scanned: v[1],
         errors_found: v[2],
@@ -32,6 +32,7 @@ fn arb_scrubber_stats() -> impl Strategy<Value = ScrubberStats> {
         busy_ns: v[6],
         clean_rows_scanned: v[7],
         clean_busy_ns: v[8],
+        clean_bytes_scanned: v[9],
     })
 }
 

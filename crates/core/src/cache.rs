@@ -403,6 +403,14 @@ impl ProtectedCache {
         Ok(slice)
     }
 
+    /// Physical bytes one scanned data row represents (row columns —
+    /// data plus check bits — divided by 8). Multiplied by
+    /// `ScrubSlice::rows_scanned` this converts scrub progress into a
+    /// bytes-swept figure for throughput accounting.
+    pub fn scrub_row_bytes(&self) -> usize {
+        self.data.cols().div_ceil(8)
+    }
+
     /// Engine statistics of the tag array.
     pub fn tag_engine_stats(&self) -> memarray::EngineStats {
         self.tags.stats()

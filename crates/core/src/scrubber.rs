@@ -109,6 +109,10 @@ pub struct ScrubberStats {
     /// figure (ns per clean row scanned) that is not polluted by
     /// however much repair work a particular run happened to do.
     pub clean_busy_ns: u64,
+    /// Physical storage swept by those clean slices, in bytes (row
+    /// columns divided by 8, summed over scanned rows). Numerator of
+    /// [`ScrubberStats::clean_scan_gbps`].
+    pub clean_bytes_scanned: u64,
 }
 
 impl ScrubberStats {
@@ -127,6 +131,7 @@ impl ScrubberStats {
             busy_ns,
             clean_rows_scanned,
             clean_busy_ns,
+            clean_bytes_scanned,
         } = *other;
         self.slices += slices;
         self.rows_scanned += rows_scanned;
@@ -137,6 +142,22 @@ impl ScrubberStats {
         self.busy_ns += busy_ns;
         self.clean_rows_scanned += clean_rows_scanned;
         self.clean_busy_ns += clean_busy_ns;
+        self.clean_bytes_scanned += clean_bytes_scanned;
+    }
+
+    /// Clean-detection scan throughput in gigabytes per second:
+    /// bytes swept by recovery-free slices over the lock-held time of
+    /// those slices (bytes/ns ≡ GB/s). Zero until a clean slice has
+    /// been timed. Like the ns-per-row figure this is a *lock-held
+    /// detection* rate — repair work is excluded by construction — and
+    /// it is runner-dependent: absolute values are only comparable on
+    /// the same hardware.
+    pub fn clean_scan_gbps(&self) -> f64 {
+        if self.clean_busy_ns == 0 {
+            0.0
+        } else {
+            self.clean_bytes_scanned as f64 / self.clean_busy_ns as f64
+        }
     }
 }
 
@@ -445,6 +466,7 @@ fn worker_loop(shared: &Shared, index: usize, workers: usize) {
             let result = guard.scrub_step(cfg.rows_per_slice);
             let held_ns = held.elapsed().as_nanos() as u64;
             let observed = guard.observed_errors();
+            let row_bytes = guard.scrub_row_bytes() as u64;
             drop(guard);
             round.busy_ns += held_ns;
             match result {
@@ -457,6 +479,7 @@ fn worker_loop(shared: &Shared, index: usize, workers: usize) {
                     if !slice.recovered {
                         round.clean_rows_scanned += slice.rows_scanned as u64;
                         round.clean_busy_ns += held_ns;
+                        round.clean_bytes_scanned += slice.rows_scanned as u64 * row_bytes;
                     }
                 }
                 Err(_) => round.uncorrectable += 1,

@@ -15,7 +15,7 @@
 //! Berlekamp–Massey to find the error-locator polynomial, and locates
 //! errors by Chien search.
 
-use crate::code::{validate_widths, Code, Decoded};
+use crate::code::{validate_widths, Code, DecodeScratch, Decoded, DecodedInPlace};
 use crate::gf::Gf2m;
 use crate::Bits;
 
@@ -309,12 +309,46 @@ impl Bch {
         acc | (u128::from(overall) << self.gen_degree)
     }
 
-    /// Berlekamp–Massey: returns the error-locator polynomial sigma
-    /// (low-degree first, sigma[0] == 1).
-    fn berlekamp_massey(&self, s: &[u32]) -> Vec<u32> {
+    /// [`Bch::syndromes`] into a reused buffer: `s` is resized to `2t`
+    /// and overwritten, allocating only if its capacity is short.
+    fn syndromes_into(&self, data: &Bits, check: &Bits, s: &mut Vec<u32>) {
+        let width = 2 * self.t;
+        s.clear();
+        s.resize(width, 0);
+        for i in data.iter_ones() {
+            let row = &self.syn_table[(self.gen_degree + i) * width..][..width];
+            for (sj, &r) in s.iter_mut().zip(row) {
+                *sj ^= r;
+            }
+        }
+        for i in check.iter_ones() {
+            if i < self.gen_degree {
+                let row = &self.syn_table[i * width..][..width];
+                for (sj, &r) in s.iter_mut().zip(row) {
+                    *sj ^= r;
+                }
+            }
+        }
+    }
+
+    /// Berlekamp–Massey over reused polynomial buffers: leaves the
+    /// error-locator polynomial sigma (low-degree first, sigma[0] == 1,
+    /// trailing zeros trimmed) in `sigma`. `prev` and `tpoly` are
+    /// working storage with no meaning afterwards. Allocation-free once
+    /// the buffers have grown to `t + 1` coefficients.
+    fn berlekamp_massey_into(
+        &self,
+        s: &[u32],
+        sigma: &mut Vec<u32>,
+        prev: &mut Vec<u32>,
+        tpoly: &mut Vec<u32>,
+    ) {
         let f = &self.field;
-        let mut sigma: Vec<u32> = vec![1];
-        let mut b: Vec<u32> = vec![1];
+        sigma.clear();
+        sigma.push(1);
+        let b = prev;
+        b.clear();
+        b.push(1);
         let mut l = 0usize;
         let mut m = 1usize;
         let mut bb = 1u32;
@@ -329,7 +363,8 @@ impl Bch {
             if d == 0 {
                 m += 1;
             } else if 2 * l <= n {
-                let t_poly = sigma.clone();
+                tpoly.clear();
+                tpoly.extend_from_slice(sigma);
                 let coef = f.div(d, bb);
                 // sigma = sigma - coef * x^m * b
                 let needed = m + b.len();
@@ -340,7 +375,7 @@ impl Bch {
                     sigma[i + m] ^= f.mul(coef, bi);
                 }
                 l = n + 1 - l;
-                b = t_poly;
+                std::mem::swap(b, tpoly);
                 bb = d;
                 m = 1;
             } else {
@@ -359,18 +394,18 @@ impl Bch {
         while sigma.len() > 1 && *sigma.last().unwrap() == 0 {
             sigma.pop();
         }
-        sigma
     }
 
-    /// Chien search restricted to the shortened codeword length; returns
-    /// error positions, or `None` if the locator does not factor cleanly.
-    fn chien_search(&self, sigma: &[u32]) -> Option<Vec<usize>> {
+    /// Chien search restricted to the shortened codeword length, into a
+    /// reused buffer. Returns `true` when the locator factors cleanly
+    /// (`positions` then holds exactly `deg(sigma)` error positions).
+    fn chien_search_into(&self, sigma: &[u32], positions: &mut Vec<usize>) -> bool {
+        positions.clear();
         let degree = sigma.len() - 1;
         if degree == 0 {
-            return Some(Vec::new());
+            return true;
         }
         let n_used = self.gen_degree + self.data_bits;
-        let mut positions = Vec::with_capacity(degree);
         for pos in 0..n_used {
             // error locator root test: sigma(alpha^{-pos}) == 0, with the
             // precomputed Chien table supplying alpha^{-pos}.
@@ -382,11 +417,7 @@ impl Bch {
                 }
             }
         }
-        if positions.len() == degree {
-            Some(positions)
-        } else {
-            None
-        }
+        positions.len() == degree
     }
 }
 
@@ -415,64 +446,90 @@ impl Code for Bch {
     }
 
     fn decode(&self, data: &Bits, check: &Bits) -> Decoded {
+        // One implementation of the decode pipeline: the allocating API
+        // is a thin shell over the scratch-based [`Bch::decode_into`].
+        let mut scratch = DecodeScratch::default();
+        let mut out = data.clone();
+        match self.decode_into(data, check, &mut out, &mut scratch) {
+            DecodedInPlace::Clean => Decoded::Clean,
+            DecodedInPlace::Corrected => Decoded::Corrected {
+                data: out,
+                flipped: std::mem::take(&mut scratch.flipped),
+            },
+            DecodedInPlace::Detected => Decoded::Detected,
+        }
+    }
+
+    fn decode_into(
+        &self,
+        data: &Bits,
+        check: &Bits,
+        out: &mut Bits,
+        scratch: &mut DecodeScratch,
+    ) -> DecodedInPlace {
         validate_widths(self, data, check);
         // Fast path: a clean word re-encodes to its stored check, which
         // is much cheaper to test than computing 2t power syndromes.
         if self.check_clean(data, check) {
-            return Decoded::Clean;
+            return DecodedInPlace::Clean;
         }
         // The stored check word's parity folds the BCH-part parity and the
         // extended bit together, so the overall syndrome needs no slicing.
         let overall_syndrome = data.parity() ^ check.parity();
-        let s = self.syndromes(data, check);
-        let all_zero = s.iter().all(|&x| x == 0);
+        let DecodeScratch {
+            flipped,
+            syndromes,
+            sigma,
+            prev,
+            tpoly,
+            positions,
+        } = scratch;
+        self.syndromes_into(data, check, syndromes);
+        let all_zero = syndromes.iter().all(|&x| x == 0);
         if all_zero {
             if !overall_syndrome {
-                return Decoded::Clean;
+                return DecodedInPlace::Clean;
             }
             // Only the extended parity bit itself is flipped.
-            return Decoded::Corrected {
-                data: data.clone(),
-                flipped: vec![self.data_bits + self.gen_degree],
-            };
+            out.copy_from(data);
+            flipped.clear();
+            flipped.push(self.data_bits + self.gen_degree);
+            return DecodedInPlace::Corrected;
         }
-        let sigma = self.berlekamp_massey(&s);
+        self.berlekamp_massey_into(syndromes, sigma, prev, tpoly);
         let nu = sigma.len() - 1;
         if nu > self.t {
-            return Decoded::Detected;
+            return DecodedInPlace::Detected;
         }
-        let Some(positions) = self.chien_search(&sigma) else {
-            return Decoded::Detected;
-        };
+        if !self.chien_search_into(sigma, positions) {
+            return DecodedInPlace::Detected;
+        }
         // Extended parity consistency: the number of in-codeword flips plus
         // a possible extended-bit flip must match the overall parity.
         let pattern_parity = positions.len() % 2 == 1;
         let extended_bit_flipped = pattern_parity != overall_syndrome;
+        // The pattern + extended bit exceeds t total flips only when
+        // nu == t; in that case the error weight is t+1: detect.
+        if extended_bit_flipped && nu == self.t {
+            return DecodedInPlace::Detected;
+        }
         // Apply the correction.
-        let mut fixed = data.clone();
-        let mut flipped = Vec::with_capacity(positions.len() + 1);
-        for &pos in &positions {
+        out.copy_from(data);
+        flipped.clear();
+        for &pos in positions.iter() {
             if pos >= self.gen_degree {
                 let data_idx = pos - self.gen_degree;
-                fixed.flip(data_idx);
+                out.flip(data_idx);
                 flipped.push(data_idx);
             } else {
                 flipped.push(self.data_bits + pos);
             }
         }
         if extended_bit_flipped {
-            // The pattern + extended bit exceeds t total flips only when
-            // nu == t; in that case the error weight is t+1: detect.
-            if nu == self.t {
-                return Decoded::Detected;
-            }
             flipped.push(self.data_bits + self.gen_degree);
         }
         flipped.sort_unstable();
-        Decoded::Corrected {
-            data: fixed,
-            flipped,
-        }
+        DecodedInPlace::Corrected
     }
 
     fn correctable(&self) -> usize {

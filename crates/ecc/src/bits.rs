@@ -6,6 +6,7 @@
 //! integer is not enough. [`Bits`] stores bits in little-endian order within
 //! `u64` limbs: bit `i` lives in limb `i / 64` at position `i % 64`.
 
+use crate::kernels;
 use std::fmt;
 
 /// A fixed-length sequence of bits with cheap XOR, popcount, and slicing.
@@ -25,6 +26,18 @@ use std::fmt;
 pub struct Bits {
     limbs: Vec<u64>,
     len: usize,
+}
+
+impl Default for Bits {
+    /// The empty (zero-length) bit vector. Useful as a placeholder in
+    /// reusable scratch structures that are sized lazily on first use;
+    /// allocation-free.
+    fn default() -> Self {
+        Bits {
+            limbs: Vec::new(),
+            len: 0,
+        }
+    }
 }
 
 impl Bits {
@@ -135,9 +148,7 @@ impl Bits {
     #[inline]
     pub fn xor_assign(&mut self, other: &Bits) {
         assert_eq!(self.len, other.len, "length mismatch in xor");
-        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
-            *a ^= *b;
-        }
+        kernels::xor_accumulate(&mut self.limbs, &other.limbs);
     }
 
     /// ANDs `other` into `self`.
@@ -229,7 +240,8 @@ impl Bits {
 
     /// Parity of `self & mask` without allocating: `true` when an odd
     /// number of bits are set in the intersection. This is the hot
-    /// primitive behind matrix-row syndrome checks.
+    /// primitive behind matrix-row syndrome checks; it runs on the
+    /// unrolled [`kernels::masked_parity`] fold.
     ///
     /// # Panics
     ///
@@ -237,11 +249,7 @@ impl Bits {
     #[inline]
     pub fn masked_parity(&self, mask: &Bits) -> bool {
         assert_eq!(self.len, mask.len, "length mismatch in masked_parity");
-        let mut acc = 0u64;
-        for (a, b) in self.limbs.iter().zip(&mask.limbs) {
-            acc ^= a & b;
-        }
-        acc.count_ones() & 1 == 1
+        kernels::masked_parity(&self.limbs, &mask.limbs)
     }
 
     /// Whether `self & mask` has any bit set, without allocating.
@@ -252,7 +260,7 @@ impl Bits {
     #[inline]
     pub fn intersects(&self, mask: &Bits) -> bool {
         assert_eq!(self.len, mask.len, "length mismatch in intersects");
-        self.limbs.iter().zip(&mask.limbs).any(|(a, b)| a & b != 0)
+        kernels::any_intersection(&self.limbs, &mask.limbs)
     }
 
     /// Returns `self ^ other` without mutating either operand.
@@ -275,16 +283,16 @@ impl Bits {
     /// Whether every bit is zero.
     #[inline]
     pub fn is_zero(&self) -> bool {
-        self.limbs.iter().all(|&l| l == 0)
+        !kernels::any_nonzero(&self.limbs)
     }
 
     /// Overall (even) parity of the vector: `true` when an odd number of
-    /// bits are set. Computed limb-wise: one XOR fold and a single
-    /// popcount, never a per-bit loop.
+    /// bits are set. Computed limb-wise on the unrolled
+    /// [`kernels::xor_fold`]: one XOR fold and a single popcount, never
+    /// a per-bit loop.
     #[inline]
     pub fn parity(&self) -> bool {
-        let acc = self.limbs.iter().fold(0u64, |a, &l| a ^ l);
-        acc.count_ones() & 1 == 1
+        kernels::xor_fold(&self.limbs).count_ones() & 1 == 1
     }
 
     /// Iterator over the indices of set bits, in increasing order.

@@ -45,6 +45,56 @@ impl Decoded {
     }
 }
 
+/// Reusable working storage for [`Code::decode_into`].
+///
+/// A scratch starts empty and grows to the high-water mark of the
+/// decodes it serves; after the first few corrections every buffer
+/// holds enough capacity and subsequent decodes allocate nothing. One
+/// scratch per decoding site (engine recovery path, bench loop,
+/// thread-local) is the intended pattern — a scratch is not `Sync` and
+/// must not be shared across concurrent decodes.
+#[derive(Clone, Debug, Default)]
+pub struct DecodeScratch {
+    /// Codeword positions flipped by the last
+    /// [`DecodedInPlace::Corrected`] outcome, sorted ascending. Same
+    /// indexing as [`Decoded::Corrected`]: `0..data_bits` are data
+    /// bits, `data_bits..` are check bits.
+    pub flipped: Vec<usize>,
+    /// Power-sum syndromes (BCH).
+    pub(crate) syndromes: Vec<u32>,
+    /// Error-locator polynomial sigma (BCH Berlekamp–Massey).
+    pub(crate) sigma: Vec<u32>,
+    /// Previous locator candidate (BCH Berlekamp–Massey).
+    pub(crate) prev: Vec<u32>,
+    /// Copy buffer for the locator update (BCH Berlekamp–Massey).
+    pub(crate) tpoly: Vec<u32>,
+    /// Chien-search roots (BCH).
+    pub(crate) positions: Vec<usize>,
+}
+
+/// Result of an in-place decode ([`Code::decode_into`]): the same three
+/// outcomes as [`Decoded`], with the corrected word delivered through
+/// the caller's buffers instead of fresh allocations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodedInPlace {
+    /// No error detected; the stored data word is already correct
+    /// (`out` is untouched).
+    Clean,
+    /// Errors were located and corrected: `out` holds the corrected
+    /// data word and `scratch.flipped` the flipped codeword positions.
+    Corrected,
+    /// An error was detected that the code cannot correct (`out` holds
+    /// unspecified contents).
+    Detected,
+}
+
+impl DecodedInPlace {
+    /// Whether the outcome is [`DecodedInPlace::Clean`].
+    pub fn is_clean(&self) -> bool {
+        matches!(self, DecodedInPlace::Clean)
+    }
+}
+
 /// A systematic block code over a fixed-width data word.
 ///
 /// Implementations are *systematic*: the stored codeword is the data word
@@ -101,6 +151,43 @@ pub trait Code {
     /// Panics if `data` or `check` have the wrong width.
     fn check_clean(&self, data: &Bits, check: &Bits) -> bool {
         self.decode(data, check).is_clean()
+    }
+
+    /// Decodes a stored pair into caller-owned buffers: on
+    /// [`DecodedInPlace::Corrected`], `out` receives the corrected data
+    /// word and `scratch.flipped` the flipped codeword positions.
+    ///
+    /// This is the zero-allocation counterpart of [`Code::decode`] for
+    /// hot repair loops: with a warmed `scratch`, implementations that
+    /// override it (the BCH family) allocate nothing per call. The
+    /// default implementation delegates to [`Code::decode`] and copies,
+    /// so it is correct for every code but only allocation-free on the
+    /// clean and detected outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data`, `check`, or `out` have the wrong width
+    /// (`out.len() != self.data_bits()`).
+    fn decode_into(
+        &self,
+        data: &Bits,
+        check: &Bits,
+        out: &mut Bits,
+        scratch: &mut DecodeScratch,
+    ) -> DecodedInPlace {
+        match self.decode(data, check) {
+            Decoded::Clean => DecodedInPlace::Clean,
+            Decoded::Corrected {
+                data: fixed,
+                flipped,
+            } => {
+                out.copy_from(&fixed);
+                scratch.flipped.clear();
+                scratch.flipped.extend_from_slice(&flipped);
+                DecodedInPlace::Corrected
+            }
+            Decoded::Detected => DecodedInPlace::Detected,
+        }
     }
 
     /// The code's parity matrix in systematic form: entry `i` is the

@@ -1,0 +1,261 @@
+//! Unrolled limb kernels for the hot XOR-fold / masked-parity loops.
+//!
+//! Every syndrome check, clean-mask probe, and vertical-parity fold in
+//! the workspace bottoms out in one of a handful of limb-slice loops:
+//! XOR-fold a slice, XOR-fold the AND of two slices, XOR one slice into
+//! another, or ask whether any limb (or any pairwise AND) is nonzero.
+//! These loops are embarrassingly wide — no carries, no cross-limb
+//! dependencies — so this module processes them u64x4-style: four
+//! independent accumulators per iteration via `chunks_exact(4)`, which
+//! the compiler turns into SIMD lanes (SSE2/AVX2 on x86-64, NEON on
+//! aarch64) without any target-feature gating or new dependencies.
+//!
+//! All kernels are allocation-free and total: slices of unequal length
+//! are a caller bug and panic via the zip length debug assertions in the
+//! callers ([`crate::Bits`] asserts bit-length equality before calling
+//! in). Tail limbs (slice length not divisible by 4) go through a plain
+//! remainder loop, so odd widths cost at most three scalar operations.
+//!
+//! Correctness is pinned by in-module tests against the obvious
+//! one-limb-at-a-time reference and, at the workspace level, by the
+//! proptest equivalence suites (`kernels_equiv.rs`,
+//! `batch_clean_equiv.rs`).
+
+/// XOR-fold of a limb slice: `a[0] ^ a[1] ^ ... ^ a[n-1]` (0 when empty).
+///
+/// The popcount parity of the result is the whole-vector parity, because
+/// XOR preserves per-bit-position parity across limbs.
+#[inline]
+pub fn xor_fold(a: &[u64]) -> u64 {
+    let mut chunks = a.chunks_exact(4);
+    let (mut x0, mut x1, mut x2, mut x3) = (0u64, 0u64, 0u64, 0u64);
+    for c in &mut chunks {
+        x0 ^= c[0];
+        x1 ^= c[1];
+        x2 ^= c[2];
+        x3 ^= c[3];
+    }
+    let mut acc = x0 ^ x1 ^ x2 ^ x3;
+    for &l in chunks.remainder() {
+        acc ^= l;
+    }
+    acc
+}
+
+/// XOR-fold of the pairwise AND of two limb slices:
+/// `(a[0] & b[0]) ^ (a[1] & b[1]) ^ ...` over `min(a.len(), b.len())`
+/// limbs. The popcount parity of the result is the masked parity — the
+/// hot primitive behind matrix-row syndrome checks and clean-mask
+/// probes.
+#[inline]
+pub fn xor_fold_masked(a: &[u64], b: &[u64]) -> u64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    let (mut x0, mut x1, mut x2, mut x3) = (0u64, 0u64, 0u64, 0u64);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        x0 ^= ca[0] & cb[0];
+        x1 ^= ca[1] & cb[1];
+        x2 ^= ca[2] & cb[2];
+        x3 ^= ca[3] & cb[3];
+    }
+    let mut acc = x0 ^ x1 ^ x2 ^ x3;
+    for (&la, &lb) in ac.remainder().iter().zip(bc.remainder()) {
+        acc ^= la & lb;
+    }
+    acc
+}
+
+/// Parity of the AND of two limb slices: `true` when the intersection
+/// has an odd number of set bits. One fused fold plus a single popcount.
+#[inline]
+pub fn masked_parity(a: &[u64], b: &[u64]) -> bool {
+    xor_fold_masked(a, b).count_ones() & 1 == 1
+}
+
+/// XORs `src` into `dst` limb-wise over `min` length — the
+/// vertical-parity fold. Processed in groups of four so the store/load
+/// pairs vectorize.
+#[inline]
+pub fn xor_accumulate(dst: &mut [u64], src: &[u64]) {
+    let n = dst.len().min(src.len());
+    let (dst, src) = (&mut dst[..n], &src[..n]);
+    let mut dc = dst.chunks_exact_mut(4);
+    let mut sc = src.chunks_exact(4);
+    for (cd, cs) in (&mut dc).zip(&mut sc) {
+        cd[0] ^= cs[0];
+        cd[1] ^= cs[1];
+        cd[2] ^= cs[2];
+        cd[3] ^= cs[3];
+    }
+    for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *d ^= s;
+    }
+}
+
+/// Popcount of the pairwise XOR of two limb slices over
+/// `min(a.len(), b.len())` limbs — the Hamming distance between two
+/// equal-width bit rows. Used by the repair paths to count bit flips
+/// without materializing the difference vector.
+#[inline]
+pub fn xor_popcount(a: &[u64], b: &[u64]) -> usize {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    let (mut x0, mut x1, mut x2, mut x3) = (0usize, 0usize, 0usize, 0usize);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        x0 += (ca[0] ^ cb[0]).count_ones() as usize;
+        x1 += (ca[1] ^ cb[1]).count_ones() as usize;
+        x2 += (ca[2] ^ cb[2]).count_ones() as usize;
+        x3 += (ca[3] ^ cb[3]).count_ones() as usize;
+    }
+    let mut acc = x0 + x1 + x2 + x3;
+    for (&la, &lb) in ac.remainder().iter().zip(bc.remainder()) {
+        acc += (la ^ lb).count_ones() as usize;
+    }
+    acc
+}
+
+/// Whether any limb is nonzero. OR-folds in groups of four; short
+/// slices (the common row width is 5 limbs) stay branch-cheap.
+#[inline]
+pub fn any_nonzero(a: &[u64]) -> bool {
+    let mut chunks = a.chunks_exact(4);
+    let mut acc = 0u64;
+    for c in &mut chunks {
+        acc |= c[0] | c[1] | c[2] | c[3];
+    }
+    for &l in chunks.remainder() {
+        acc |= l;
+    }
+    acc != 0
+}
+
+/// Whether the pairwise AND of two limb slices has any bit set.
+#[inline]
+pub fn any_intersection(a: &[u64], b: &[u64]) -> bool {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    let mut acc = 0u64;
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        acc |= (ca[0] & cb[0]) | (ca[1] & cb[1]) | (ca[2] & cb[2]) | (ca[3] & cb[3]);
+    }
+    for (&la, &lb) in ac.remainder().iter().zip(bc.remainder()) {
+        acc |= la & lb;
+    }
+    acc != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random limbs (splitmix64) so the tests cover
+    /// dense bit patterns without a RNG dependency in this crate.
+    fn limbs(seed: u64, n: usize) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    // Every length from 0 through a few unroll periods, so all tail
+    // shapes (0..=3 remainder limbs) are exercised.
+    const LENS: std::ops::RangeInclusive<usize> = 0..=13;
+
+    #[test]
+    fn xor_fold_matches_reference() {
+        for n in LENS {
+            let a = limbs(1, n);
+            let expect = a.iter().fold(0u64, |acc, &l| acc ^ l);
+            assert_eq!(xor_fold(&a), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn xor_fold_masked_matches_reference() {
+        for n in LENS {
+            let a = limbs(2, n);
+            let b = limbs(3, n);
+            let expect = a.iter().zip(&b).fold(0u64, |acc, (&x, &y)| acc ^ (x & y));
+            assert_eq!(xor_fold_masked(&a, &b), expect, "n={n}");
+            assert_eq!(masked_parity(&a, &b), expect.count_ones() & 1 == 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn xor_accumulate_matches_reference() {
+        for n in LENS {
+            let mut dst = limbs(4, n);
+            let src = limbs(5, n);
+            let expect: Vec<u64> = dst.iter().zip(&src).map(|(&d, &s)| d ^ s).collect();
+            xor_accumulate(&mut dst, &src);
+            assert_eq!(dst, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn xor_popcount_matches_reference() {
+        for n in LENS {
+            let a = limbs(10, n);
+            let b = limbs(11, n);
+            let expect: usize = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x ^ y).count_ones() as usize)
+                .sum();
+            assert_eq!(xor_popcount(&a, &b), expect, "n={n}");
+            assert_eq!(xor_popcount(&a, &a), 0, "n={n} self");
+        }
+    }
+
+    #[test]
+    fn any_nonzero_matches_reference() {
+        for n in LENS {
+            let mut a = vec![0u64; n];
+            assert!(!any_nonzero(&a), "n={n} zeros");
+            if n > 0 {
+                a[n - 1] = 1 << 63;
+                assert!(any_nonzero(&a), "n={n} last limb");
+                a[n - 1] = 0;
+                a[0] = 1;
+                assert!(any_nonzero(&a), "n={n} first limb");
+            }
+        }
+    }
+
+    #[test]
+    fn any_intersection_matches_reference() {
+        for n in LENS {
+            let a = limbs(6, n);
+            let b = limbs(7, n);
+            let expect = a.iter().zip(&b).any(|(&x, &y)| x & y != 0);
+            assert_eq!(any_intersection(&a, &b), expect, "n={n}");
+            assert!(!any_intersection(&a, &vec![0u64; n]), "n={n} vs zeros");
+        }
+    }
+
+    #[test]
+    fn shorter_operand_bounds_the_fold() {
+        // Mixed lengths fold over the common prefix only — the contract
+        // span-limited callers (clean-mask spans) rely on.
+        let a = limbs(8, 9);
+        let b = limbs(9, 5);
+        let expect = a[..5]
+            .iter()
+            .zip(&b)
+            .fold(0u64, |acc, (&x, &y)| acc ^ (x & y));
+        assert_eq!(xor_fold_masked(&a, &b), expect);
+        assert_eq!(xor_fold_masked(&b, &a), expect);
+    }
+}

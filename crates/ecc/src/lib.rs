@@ -42,6 +42,7 @@ mod bits;
 mod code;
 mod edc;
 pub mod gf;
+pub mod kernels;
 pub mod logic;
 mod sbd;
 mod scheme;
@@ -49,7 +50,7 @@ mod secded;
 
 pub use bch::Bch;
 pub use bits::{Bits, IterOnes};
-pub use code::{Code, Decoded};
+pub use code::{Code, DecodeScratch, Decoded, DecodedInPlace};
 pub use edc::Edc;
 pub use sbd::SecdedSbd;
 pub use scheme::{shared_codec_builds, CodeKind, InterleavedScheme};

@@ -1,0 +1,172 @@
+//! Equivalence property tests for the unrolled limb kernels and the
+//! scratch-based decode path.
+//!
+//! `ecc::kernels` processes the hot XOR-fold / masked-parity loops
+//! u64x4-style (four independent accumulators per iteration). These
+//! tests pin every kernel bit-for-bit against the obvious
+//! one-limb-at-a-time reference across random limb slices of every tail
+//! shape (lengths 0..14 cover all `chunks_exact(4)` remainders), pin the
+//! `Bits`-level routing at odd bit widths (tail limbs partially used),
+//! and pin `Code::decode_into` — the zero-allocation scratch decode the
+//! engine repair path and the benches use — against `Code::decode`
+//! outcome-for-outcome across random error patterns, including scratch
+//! reuse across consecutive decodes.
+
+use ecc::{kernels, Bch, Bits, Code, DecodeScratch, Decoded, DecodedInPlace, Edc, Secded};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Equal-length random limb slice pairs covering all unroll tails
+/// (sample max-width vectors and truncate to a shared random length).
+fn limb_pair() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    (0usize..14, vec(any::<u64>(), 14), vec(any::<u64>(), 14))
+        .prop_map(|(n, a, b)| (a[..n].to_vec(), b[..n].to_vec()))
+}
+
+/// Random `Bits` of the given bit length (tail limb masked by the type).
+fn bits_strategy(len: usize) -> impl Strategy<Value = Bits> {
+    vec(any::<u64>(), len.div_ceil(64)).prop_map(move |limbs| Bits::from_limbs(&limbs, len))
+}
+
+/// Equal-width random `Bits` pairs at odd widths: exercises partially
+/// used tail limbs (`from_limbs` truncates the raw limbs to the width
+/// and masks the tail).
+fn bits_pair() -> impl Strategy<Value = (Bits, Bits)> {
+    (1usize..260, vec(any::<u64>(), 5), vec(any::<u64>(), 5))
+        .prop_map(|(w, ra, rb)| (Bits::from_limbs(&ra, w), Bits::from_limbs(&rb, w)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xor_fold_matches_reference(pair in limb_pair()) {
+        let (a, _) = pair;
+        let expect = a.iter().fold(0u64, |acc, &l| acc ^ l);
+        prop_assert_eq!(kernels::xor_fold(&a), expect);
+    }
+
+    #[test]
+    fn xor_fold_masked_matches_reference(pair in limb_pair()) {
+        let (a, b) = pair;
+        let expect = a.iter().zip(&b).fold(0u64, |acc, (&x, &y)| acc ^ (x & y));
+        prop_assert_eq!(kernels::xor_fold_masked(&a, &b), expect);
+        prop_assert_eq!(
+            kernels::masked_parity(&a, &b),
+            expect.count_ones() & 1 == 1
+        );
+    }
+
+    #[test]
+    fn xor_accumulate_matches_reference(pair in limb_pair()) {
+        let (a, b) = pair;
+        let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+        let mut dst = a.clone();
+        kernels::xor_accumulate(&mut dst, &b);
+        prop_assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn predicates_match_reference(pair in limb_pair()) {
+        let (a, b) = pair;
+        prop_assert_eq!(kernels::any_nonzero(&a), a.iter().any(|&l| l != 0));
+        prop_assert_eq!(
+            kernels::any_intersection(&a, &b),
+            a.iter().zip(&b).any(|(&x, &y)| x & y != 0)
+        );
+        let expect: usize = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| (x ^ y).count_ones() as usize)
+            .sum();
+        prop_assert_eq!(kernels::xor_popcount(&a, &b), expect);
+    }
+
+    /// `Bits`-level routing at odd widths: the per-bit reference walks
+    /// every position, so a kernel that mishandled a partially used
+    /// tail limb (masked or not) would diverge here.
+    #[test]
+    fn bits_masked_parity_matches_per_bit(pair in bits_pair()) {
+        let (a, b) = pair;
+        let expect = (0..a.len()).filter(|&i| a.get(i) && b.get(i)).count() % 2 == 1;
+        prop_assert_eq!(a.masked_parity(&b), expect);
+        let ones: usize = (0..a.len()).filter(|&i| a.get(i)).count();
+        prop_assert_eq!(a.parity(), ones % 2 == 1);
+        prop_assert_eq!(a.is_zero(), ones == 0);
+        let distance = (0..a.len()).filter(|&i| a.get(i) != b.get(i)).count();
+        prop_assert_eq!(a.xor(&b).count_ones(), distance);
+    }
+}
+
+/// Every horizontal code the paper compares, over 64-bit words.
+fn codecs() -> Vec<Box<dyn Code>> {
+    vec![
+        Box::new(Edc::new(64, 8)),
+        Box::new(Secded::new(64)),
+        Box::new(Bch::new(64, 2)),
+        Box::new(Bch::new(64, 4)),
+        Box::new(Bch::new(64, 8)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `decode_into` with a reused scratch must agree with `decode`
+    /// outcome-for-outcome, bit-for-bit, for every codec and error
+    /// weight from clean through just-past-correctable. The scratch and
+    /// output buffer are shared across all decodes of one case, pinning
+    /// the reuse contract (a stale syndrome or locator surviving into
+    /// the next call would diverge here).
+    #[test]
+    fn decode_into_matches_decode(
+        data in bits_strategy(64),
+        seed in any::<u64>(),
+    ) {
+        for code in codecs() {
+            let check = code.encode(&data);
+            let mut out = Bits::zeros(code.data_bits());
+            let mut scratch = DecodeScratch::default();
+            let total = code.codeword_bits();
+            for weight in 0..=code.correctable() + 1 {
+                // Deterministic distinct positions from the seed.
+                let mut d = data.clone();
+                let mut c = check.clone();
+                let mut pos = Vec::new();
+                let mut s = seed;
+                while pos.len() < weight {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let p = (s >> 33) as usize % total;
+                    if !pos.contains(&p) {
+                        pos.push(p);
+                        if p < code.data_bits() {
+                            d.flip(p);
+                        } else {
+                            c.flip(p - code.data_bits());
+                        }
+                    }
+                }
+                let reference = code.decode(&d, &c);
+                let in_place = code.decode_into(&d, &c, &mut out, &mut scratch);
+                match (&reference, in_place) {
+                    (Decoded::Clean, DecodedInPlace::Clean)
+                    | (Decoded::Detected, DecodedInPlace::Detected) => {}
+                    (
+                        Decoded::Corrected { data: fixed, flipped },
+                        DecodedInPlace::Corrected,
+                    ) => {
+                        prop_assert_eq!(&out, fixed, "{} corrected word", code.name());
+                        prop_assert_eq!(
+                            &scratch.flipped, flipped,
+                            "{} flipped positions", code.name()
+                        );
+                    }
+                    (r, i) => panic!(
+                        "{}: decode {r:?} vs decode_into {i:?} at weight {weight}",
+                        code.name()
+                    ),
+                }
+            }
+        }
+    }
+}

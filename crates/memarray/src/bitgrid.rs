@@ -155,6 +155,25 @@ impl BitGrid {
         self.limbs_per_row
     }
 
+    /// Raw limbs of `count` consecutive rows starting at `start`, in
+    /// row-major order with a [`BitGrid::limbs_per_row`] stride. Padding
+    /// bits beyond `cols` in each row are always zero. This is the
+    /// batched-verification view: one borrow covers a whole scrub slice
+    /// without copying any row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the row count.
+    #[inline]
+    pub(crate) fn row_range_limbs(&self, start: usize, count: usize) -> &[u64] {
+        assert!(
+            start + count <= self.rows,
+            "row range {start}+{count} out of range {}",
+            self.rows
+        );
+        &self.data[start * self.limbs_per_row..(start + count) * self.limbs_per_row]
+    }
+
     /// Raw pointer to the first limb of the row-major storage. Row `r`
     /// starts at offset `r * limbs_per_row()`.
     ///

@@ -4,7 +4,7 @@
 
 use crate::{BankScheme, BitGrid, ErrorShape, FaultKind, FaultMap, InjectionReport, Injector};
 use crate::{EngineStats, RowLayout, VerticalParity};
-use ecc::{Bits, Code, Decoded};
+use ecc::{Bits, Code, Decoded, DecodedInPlace};
 use std::fmt;
 use std::sync::Arc;
 
@@ -181,6 +181,11 @@ pub struct TwoDArray {
     scratch_aux: Bits,
     /// Next row an incremental scrub slice will scan (wraps at `rows`).
     scrub_cursor: usize,
+    /// Engine-owned recovery working set, reused across [`TwoDArray::recover`]
+    /// calls so repeated recoveries (scrub campaigns, fault storms) stop
+    /// re-allocating the bank snapshot. Taken out with `mem::take` for the
+    /// duration of a recovery and put back when it finishes.
+    recovery: RecoveryCache,
     /// When true, recovery remaps cells whose repair does not stick
     /// (stuck-at hard faults) to spares, mirroring BISR hardware.
     bisr_remap: bool,
@@ -233,6 +238,7 @@ impl TwoDArray {
             scratch_row: Bits::zeros(cols),
             scratch_aux: Bits::zeros(cols),
             scrub_cursor: 0,
+            recovery: RecoveryCache::default(),
             bisr_remap: true,
             max_iterations: 4,
         }
@@ -825,7 +831,12 @@ impl TwoDArray {
         // re-decoded every row — and re-derived every stripe syndrome —
         // on each pass of each iteration; repairs now patch the caches
         // instead (engine.rs used to spend most of recovery there).
-        let mut cache = RecoveryCache::snapshot(self);
+        //
+        // The cache buffers are engine-owned and reused across recoveries:
+        // taking the cache out of `self` lets the repair passes borrow the
+        // engine mutably while reading/writing cache rows.
+        let mut cache = std::mem::take(&mut self.recovery);
+        cache.rebuild(self);
         for _iter in 0..self.max_iterations {
             // BIST march: scan every row once per iteration (the cycle
             // cost model is unchanged — hardware still marches the rows).
@@ -860,10 +871,11 @@ impl TwoDArray {
                     if cache.stripe_syn[stripe].is_zero() {
                         continue;
                     }
-                    let repaired = cache.rows[r].xor(&cache.stripe_syn[stripe]);
-                    if self.row_clean(&repaired) {
+                    cache.scratch.copy_from(&cache.rows[r]);
+                    cache.scratch.xor_assign(&cache.stripe_syn[stripe]);
+                    if self.row_clean(&cache.scratch) {
                         let flips = cache.stripe_syn[stripe].count_ones();
-                        self.commit_row_repair(r, &repaired, &mut cache, &mut report);
+                        self.commit_row_repair(r, &mut cache, &mut report);
                         report.rows_repaired.push(r);
                         report.bits_flipped += flips;
                         progressed = true;
@@ -919,6 +931,7 @@ impl TwoDArray {
                 failing.push(r);
             }
         }
+        self.recovery = cache;
         self.stats.bits_recovered += report.bits_flipped as u64;
         if failing.is_empty() {
             Ok(report)
@@ -955,13 +968,67 @@ impl TwoDArray {
 
     /// Scrub pass: audits every row, running recovery if anything is
     /// found. Returns whether the array was clean to begin with.
+    ///
+    /// On a clean bank with no stuck-at overlay this is allocation-free:
+    /// row verification runs batched over the raw limb block
+    /// ([`BankScheme::rows_clean_limbs`]) and the stripe audit folds into
+    /// the engine scratch rows.
     pub fn scrub(&mut self) -> Result<bool, EngineError> {
         self.stats.scrub_passes += 1;
-        let was_clean = self.failing_rows().is_empty() && self.failing_stripes().is_empty();
+        let was_clean = !self.any_row_failing() && !self.any_stripe_failing();
         if !was_clean {
             self.recover()?;
         }
         Ok(was_clean)
+    }
+
+    /// Whether any row has an uncorrectable word — the allocation-free
+    /// core of [`TwoDArray::failing_rows`] for callers that only need the
+    /// boolean. With no stuck-at overlay the raw limb block *is* the
+    /// observable content, so a batched clean-mask sweep over all rows
+    /// (one pass per mask, many rows per pass) settles the common case
+    /// without copying a single row; any dirtiness falls back to the
+    /// per-row decode walk for an exact answer.
+    fn any_row_failing(&mut self) -> bool {
+        if self.faults.is_empty()
+            && self.scheme.rows_clean_limbs(
+                self.grid.row_range_limbs(0, self.rows()),
+                self.grid.limbs_per_row(),
+                self.rows(),
+            )
+        {
+            // Every word of every row checks clean, and clean words are
+            // never uncorrectable.
+            return false;
+        }
+        for r in 0..self.rows() {
+            self.load_scratch_row(r);
+            if self.row_has_uncorrectable(&self.scratch_row) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether any vertical stripe has a nonzero syndrome — the
+    /// allocation-free core of [`TwoDArray::failing_stripes`] for callers
+    /// that only need the boolean (the scrub wrap check). Folds each
+    /// stripe's rows into the engine scratch instead of collecting them.
+    fn any_stripe_failing(&mut self) -> bool {
+        let v = self.vparity.interleave();
+        for stripe in 0..v {
+            self.scratch_aux.copy_from(self.vparity.parity_row(stripe));
+            let mut r = stripe;
+            while r < self.rows() {
+                self.load_scratch_row(r);
+                self.scratch_aux.xor_assign(&self.scratch_row);
+                r += v;
+            }
+            if !self.scratch_aux.is_zero() {
+                return true;
+            }
+        }
+        false
     }
 
     /// The next row an incremental scrub slice will scan.
@@ -994,14 +1061,29 @@ impl TwoDArray {
         assert!(max_rows > 0, "a scrub slice must cover at least one row");
         let start = self.scrub_cursor;
         let end = (start + max_rows).min(self.rows());
+        let count = end - start;
         let mut slice = ScrubSlice::default();
-        for r in start..end {
-            self.load_scratch_row(r);
-            if !self.row_clean(&self.scratch_row) {
-                slice.dirty_rows += 1;
+        // Batched fast path: with no stuck-at overlay the raw limb block
+        // is the observable content, so the whole slice is verified in one
+        // mask-outer/rows-inner sweep over a single borrow of the grid —
+        // no per-row copy, no allocation. Only a dirty slice (or an active
+        // fault overlay) pays for the per-row walk that attributes
+        // dirtiness to individual rows.
+        let batch_clean = self.faults.is_empty()
+            && self.scheme.rows_clean_limbs(
+                self.grid.row_range_limbs(start, count),
+                self.grid.limbs_per_row(),
+                count,
+            );
+        if !batch_clean {
+            for r in start..end {
+                self.load_scratch_row(r);
+                if !self.row_clean(&self.scratch_row) {
+                    slice.dirty_rows += 1;
+                }
             }
         }
-        slice.rows_scanned = end - start;
+        slice.rows_scanned = count;
         self.stats.scrub_slices += 1;
         self.stats.scrub_rows_scanned += slice.rows_scanned as u64;
         self.stats.scrub_errors_found += slice.dirty_rows as u64;
@@ -1012,7 +1094,7 @@ impl TwoDArray {
             // parity rows themselves).
             slice.wrapped = true;
             self.scrub_cursor = 0;
-            need_recovery |= !self.failing_stripes().is_empty();
+            need_recovery |= self.any_stripe_failing();
         } else {
             self.scrub_cursor = end;
         }
@@ -1029,53 +1111,59 @@ impl TwoDArray {
         (0..self.words_per_row()).all(|w| self.word_clean(row, w))
     }
 
-    /// Applies a repair and patches the recovery caches: row contents,
-    /// clean flag, and the stripe syndrome. The stored parity reflects
-    /// intended data and repairs restore intended data, so the syndrome
-    /// changes by exactly `old ^ new-observable`.
+    /// Applies the repair staged in `cache.scratch` to row `r` and
+    /// patches the recovery caches: row contents, clean flag, and the
+    /// stripe syndrome. The stored parity reflects intended data and
+    /// repairs restore intended data, so the syndrome changes by exactly
+    /// `old ^ new-observable`. Allocation-free: the observable row after
+    /// the repair lands back in the cache's own row buffer.
     fn commit_row_repair(
         &mut self,
         r: usize,
-        repaired: &Bits,
         cache: &mut RecoveryCache,
         report: &mut RecoveryReport,
     ) {
-        self.apply_row_repair(r, report, repaired);
+        self.apply_row_repair(r, report, &cache.scratch);
         let stripe = r % self.vparity.interleave();
-        let mut observable = Bits::zeros(self.cols());
-        self.read_row_raw_into(r, &mut observable);
         cache.stripe_syn[stripe].xor_assign(&cache.rows[r]);
-        cache.stripe_syn[stripe].xor_assign(&observable);
-        cache.clean[r] = self.row_clean(&observable);
-        cache.rows[r] = observable;
+        self.read_row_raw_into(r, &mut cache.rows[r]);
+        cache.stripe_syn[stripe].xor_assign(&cache.rows[r]);
+        cache.clean[r] = self.row_clean(&cache.rows[r]);
     }
 
     /// Attempts SECDED-style inline repair of every dirty word of row `r`.
+    /// The candidate row is staged in `cache.scratch` and word decodes go
+    /// through the reusable [`ecc::DecodeScratch`], so the only per-call
+    /// allocations left are the word extraction buffers of genuinely
+    /// dirty words.
     fn try_inline_row_fix(
         &mut self,
         r: usize,
         cache: &mut RecoveryCache,
         report: &mut RecoveryReport,
     ) -> bool {
-        let before = cache.rows[r].clone();
-        let mut repaired = before.clone();
+        cache.scratch.copy_from(&cache.rows[r]);
         let mut fixed_any = false;
         for w in 0..self.words_per_row() {
-            if self.word_clean(&repaired, w) {
+            if self.word_clean(&cache.scratch, w) {
                 continue;
             }
-            let data = self.layout().extract_data(&repaired, w);
-            let check = self.layout().extract_check(&repaired, w);
-            if let Decoded::Corrected { data: fixed, .. } = self.hcode().decode(&data, &check) {
-                let new_check = self.hcode().encode(&fixed);
+            let data = self.layout().extract_data(&cache.scratch, w);
+            let check = self.layout().extract_check(&cache.scratch, w);
+            if let DecodedInPlace::Corrected =
+                self.hcode()
+                    .decode_into(&data, &check, &mut cache.word_out, &mut cache.decode)
+            {
+                let new_check = self.hcode().encode(&cache.word_out);
                 self.layout()
-                    .place_word(&mut repaired, w, &fixed, &new_check);
+                    .place_word(&mut cache.scratch, w, &cache.word_out, &new_check);
                 fixed_any = true;
             }
         }
-        if fixed_any && self.row_clean(&repaired) {
-            let flips = before.xor(&repaired).count_ones();
-            self.commit_row_repair(r, &repaired, cache, report);
+        if fixed_any && self.row_clean(&cache.scratch) {
+            let flips =
+                ecc::kernels::xor_popcount(cache.rows[r].as_limbs(), cache.scratch.as_limbs());
+            self.commit_row_repair(r, cache, report);
             report.bits_flipped += flips;
             report.rows_repaired.push(r);
             true
@@ -1095,41 +1183,44 @@ impl TwoDArray {
         cache: &mut RecoveryCache,
         report: &mut RecoveryReport,
     ) -> bool {
-        let before = cache.rows[r].clone();
         // Try flipping all suspect columns in this row; verify each word.
-        let repaired = before.xor(suspect);
-        if self.row_clean(&repaired) {
+        cache.scratch.copy_from(&cache.rows[r]);
+        cache.scratch.xor_assign(suspect);
+        if self.row_clean(&cache.scratch) {
             report.bits_flipped += suspect.count_ones();
             report
                 .column_mode_bits
                 .extend(suspect.iter_ones().map(|c| (r, c)));
-            self.commit_row_repair(r, &repaired, cache, report);
+            self.commit_row_repair(r, cache, report);
             return true;
         }
         // Otherwise, try per-word subsets: flip only the suspect columns
-        // of words whose check currently fails.
-        let mut repaired = before.clone();
+        // of words whose check currently fails. Trial flips are applied
+        // to the staged row and reverted in place when the word still
+        // fails its check.
+        cache.scratch.copy_from(&cache.rows[r]);
         let mut flipped_cols: Vec<usize> = Vec::new();
         for w in 0..self.words_per_row() {
-            if self.word_clean(&repaired, w) {
+            if self.word_clean(&cache.scratch, w) {
                 continue;
             }
             let word_suspects = suspect.and(self.scheme.word_col_mask(w));
             if word_suspects.is_zero() {
                 continue;
             }
-            let trial = repaired.xor(&word_suspects);
-            if self.word_clean(&trial, w) {
-                repaired = trial;
+            cache.scratch.xor_assign(&word_suspects);
+            if self.word_clean(&cache.scratch, w) {
                 flipped_cols.extend(word_suspects.iter_ones());
+            } else {
+                cache.scratch.xor_assign(&word_suspects);
             }
         }
-        if !flipped_cols.is_empty() && self.row_clean(&repaired) {
+        if !flipped_cols.is_empty() && self.row_clean(&cache.scratch) {
             report.bits_flipped += flipped_cols.len();
             report
                 .column_mode_bits
                 .extend(flipped_cols.iter().map(|&c| (r, c)));
-            self.commit_row_repair(r, &repaired, cache, report);
+            self.commit_row_repair(r, cache, report);
             true
         } else {
             false
@@ -1159,32 +1250,53 @@ impl TwoDArray {
 
 /// Incremental state shared by the passes of one [`TwoDArray::recover`]
 /// call: row contents (through the stuck-at overlay), per-row decode
-/// outcomes, and per-stripe vertical syndromes. Built once per recovery
-/// and patched in place by [`TwoDArray::commit_row_repair`].
+/// outcomes, and per-stripe vertical syndromes, plus the reusable repair
+/// staging buffers (candidate row, decoded word, decode scratch).
+///
+/// The cache is owned by the engine and rebuilt in place at the start of
+/// each recovery ([`RecoveryCache::rebuild`]): after the first recovery
+/// of a bank's lifetime, subsequent ones reuse every buffer and the
+/// snapshot phase allocates nothing. Patched in place by
+/// [`TwoDArray::commit_row_repair`].
+#[derive(Default)]
 struct RecoveryCache {
     rows: Vec<Bits>,
     clean: Vec<bool>,
     stripe_syn: Vec<Bits>,
+    /// Repair staging row: candidate content a fix pass builds before
+    /// verification and commit.
+    scratch: Bits,
+    /// Decoded-data landing buffer for word repairs (`data_bits` wide).
+    word_out: Bits,
+    /// Reusable BCH decode working set threaded through the repair path.
+    decode: ecc::DecodeScratch,
 }
 
 impl RecoveryCache {
-    fn snapshot(bank: &TwoDArray) -> Self {
+    /// Refills the cache from the bank's current observable state,
+    /// reusing every buffer from the previous recovery when the geometry
+    /// matches (it always does for an engine-owned cache; the first call
+    /// sizes everything).
+    fn rebuild(&mut self, bank: &TwoDArray) {
+        let rows = bank.rows();
+        let cols = bank.cols();
         let v = bank.vparity.interleave();
-        let mut rows = Vec::with_capacity(bank.rows());
-        let mut clean = Vec::with_capacity(bank.rows());
-        let mut stripe_syn: Vec<Bits> =
-            (0..v).map(|s| bank.vparity.parity_row(s).clone()).collect();
-        for r in 0..bank.rows() {
-            let mut row = Bits::zeros(bank.cols());
-            bank.read_row_raw_into(r, &mut row);
-            stripe_syn[r % v].xor_assign(&row);
-            clean.push(bank.row_clean(&row));
-            rows.push(row);
+        if self.rows.len() != rows || self.rows.first().is_some_and(|b| b.len() != cols) {
+            self.rows = (0..rows).map(|_| Bits::zeros(cols)).collect();
+            self.stripe_syn = (0..v).map(|_| Bits::zeros(cols)).collect();
+            self.scratch = Bits::zeros(cols);
+            self.word_out = Bits::zeros(bank.layout().data_bits());
         }
-        RecoveryCache {
-            rows,
-            clean,
-            stripe_syn,
+        self.clean.clear();
+        self.clean.resize(rows, false);
+        for s in 0..v {
+            self.stripe_syn[s].copy_from(bank.vparity.parity_row(s));
+        }
+        for r in 0..rows {
+            let row = &mut self.rows[r];
+            bank.read_row_raw_into(r, row);
+            self.stripe_syn[r % v].xor_assign(row);
+            self.clean[r] = bank.row_clean(row);
         }
     }
 

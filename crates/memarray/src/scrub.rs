@@ -87,7 +87,10 @@ pub fn run_scrub_experiment<R: Rng>(
     // Event times, sorted.
     let mut times: Vec<u64> = (0..events).map(|_| rng.gen_range(0..duration)).collect();
     times.sort_unstable();
-    let mut pending: Vec<u64> = Vec::new(); // times of uncorrected errors
+    // Time of the single outstanding uncorrected error, if any. At most
+    // one error is ever outstanding (a second arrival compounds and
+    // resets), so this needs no growable buffer.
+    let mut pending: Option<u64> = None;
     let mut next_scrub = match policy {
         CheckPolicy::OnAccess => 1,
         CheckPolicy::PeriodicScrub { interval } => interval,
@@ -99,9 +102,9 @@ pub fn run_scrub_experiment<R: Rng>(
     for &t in &times {
         // Process scrub passes before this event.
         while next_scrub <= t {
-            if !pending.is_empty() {
+            if pending.is_some() {
                 let _ = bank.scrub();
-                pending.clear();
+                pending = None;
             }
             next_scrub += scrub_step;
         }
@@ -110,13 +113,13 @@ pub fn run_scrub_experiment<R: Rng>(
         let col = rng.gen_range(0..bank.cols());
         bank.inject(ErrorShape::Single { row, col });
         result.injected += 1;
-        if pending.is_empty() {
-            pending.push(t);
+        if pending.is_none() {
+            pending = Some(t);
         } else {
             // A second error while one is outstanding: compounded.
             result.compounded += 1;
             let _ = bank.scrub(); // clean up for the next round
-            pending.clear();
+            pending = None;
         }
     }
     result.corrected_in_time = result.injected - result.compounded;

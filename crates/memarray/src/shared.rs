@@ -244,14 +244,55 @@ impl BankScheme {
             .iter()
             .zip(&self.clean_mask_spans[base..base + cb])
             .all(|(mask, &(lo, hi))| {
-                let mask_limbs = mask.as_limbs();
-                let mut acc = 0u64;
                 // Only the mask's nonzero limb span contributes parity.
-                for i in lo as usize..hi as usize {
-                    acc ^= limbs[i] & mask_limbs[i];
-                }
-                acc.count_ones().is_multiple_of(2)
+                let (lo, hi) = (lo as usize, hi as usize);
+                !ecc::kernels::masked_parity(&limbs[lo..hi], &mask.as_limbs()[lo..hi])
             })
+    }
+
+    /// Batched [`BankScheme::row_clean`] over a row-major limb block:
+    /// whether *every* one of `rows` consecutive physical rows, stored
+    /// `limbs_per_row` limbs apart starting at `limbs[0]`, is a
+    /// self-consistent codeword in every word.
+    ///
+    /// This is the scrub fast path. Instead of materializing each row as
+    /// a `Bits` and walking every clean mask per row, it iterates masks
+    /// in the outer loop and rows in the inner loop, so one pass per
+    /// check equation streams the whole block through its one- or
+    /// two-limb span ([`ecc::kernels`] folds). The block stays in L1
+    /// (a 32-row slice of the paper geometry is 1.3 KiB) while each mask
+    /// is loaded exactly once. Returns on the first dirty equation; the
+    /// caller then re-walks the slice per-row to attribute and repair.
+    ///
+    /// Padding bits beyond [`BankScheme::cols`] in each row are ignored
+    /// (the masks are zero there), matching
+    /// [`BankScheme::word_clean_limbs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stride is narrower than one row or the block is
+    /// shorter than `rows` rows.
+    pub fn rows_clean_limbs(&self, limbs: &[u64], limbs_per_row: usize, rows: usize) -> bool {
+        assert!(
+            limbs_per_row * 64 >= self.layout.row_cols(),
+            "row stride too narrow"
+        );
+        assert!(
+            limbs.len() >= rows * limbs_per_row,
+            "limb block shorter than {rows} rows"
+        );
+        for (mask, &(lo, hi)) in self.clean_masks.iter().zip(&self.clean_mask_spans) {
+            let (lo, hi) = (lo as usize, hi as usize);
+            let mask_span = &mask.as_limbs()[lo..hi];
+            let mut dirty = false;
+            for row in limbs.chunks_exact(limbs_per_row).take(rows) {
+                dirty |= ecc::kernels::masked_parity(&row[lo..hi], mask_span);
+            }
+            if dirty {
+                return false;
+            }
+        }
+        true
     }
 
     /// Whether every word of a physical row stores a self-consistent
