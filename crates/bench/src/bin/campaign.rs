@@ -25,7 +25,7 @@
 //! actual gate.
 
 use bench::bench_json::{self, BenchRow};
-use cachesim::net::{run_net_chaos, NetChaosConfig};
+use cachesim::net::{run_net_chaos, run_shard_chaos, NetChaosConfig, ShardChaosConfig};
 use cachesim::{run_campaign, CampaignConfig, CampaignReport};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -296,4 +296,91 @@ fn run_net_phase(seed: u64, out_dir: &std::path::Path) {
         std::process::exit(1);
     }
     println!("net phase healthy: read-your-writes held across kills, storm, and quarantine");
+
+    run_shard_phase(seed, out_dir);
+}
+
+/// The shard-kill phase: two loopback servers behind a sharded client
+/// fleet; one server is shut down mid-storm and later restarted (same
+/// cache, fresh port). Exits nonzero on any wrong read or lost acked
+/// write while a shard is down, if the survivor served nothing during
+/// the outage, or if the victim never came back.
+fn run_shard_phase(seed: u64, out_dir: &std::path::Path) {
+    let cfg = ShardChaosConfig::quick(seed);
+    println!(
+        "shard phase: 2 shards, {} client(s) x {} batch(es) of {}, victim down from {:.0}% to {:.0}% progress",
+        cfg.clients,
+        cfg.batches_per_client,
+        cfg.batch_depth,
+        cfg.kill_at_fraction * 100.0,
+        cfg.restart_at_fraction * 100.0,
+    );
+    let r = run_shard_chaos(&cfg);
+    println!(
+        "  {} ops, {} acked write(s) ({} during outage), {} verified read(s), {} readback-checked",
+        r.ops, r.acked_writes, r.survivor_acked_during_outage, r.verified_reads, r.readback_checked,
+    );
+    println!(
+        "  {} shard-down slot(s), {} gave up, {} fault(s), {} lazy re-dial(s), \
+         {} injection(s), victim restarted {}, final audit {}",
+        r.shard_down_slots,
+        r.gave_up,
+        r.faults,
+        r.reconnects,
+        r.injections,
+        r.victim_restarted,
+        r.final_audit,
+    );
+
+    let report_path = out_dir.join("shard_chaos_report.json");
+    let json = format!(
+        "{{\n  \"schema\": \"twod-repro/shard-chaos-v1\",\n  \"seed\": {seed},\n  \
+         \"ops\": {},\n  \"acked_writes\": {},\n  \"verified_reads\": {},\n  \
+         \"wrong_reads\": {},\n  \"lost_acked_writes\": {},\n  \"readback_checked\": {},\n  \
+         \"shard_down_slots\": {},\n  \"survivor_acked_during_outage\": {},\n  \
+         \"gave_up\": {},\n  \"faults\": {},\n  \"reconnects\": {},\n  \"injections\": {},\n  \
+         \"victim_restarted\": {},\n  \"final_audit\": {}\n}}\n",
+        r.ops,
+        r.acked_writes,
+        r.verified_reads,
+        r.wrong_reads,
+        r.lost_acked_writes,
+        r.readback_checked,
+        r.shard_down_slots,
+        r.survivor_acked_during_outage,
+        r.gave_up,
+        r.faults,
+        r.reconnects,
+        r.injections,
+        r.victim_restarted,
+        r.final_audit,
+    );
+    std::fs::write(&report_path, json)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", report_path.display()));
+    println!("wrote {}", report_path.display());
+
+    let mut unhealthy = Vec::new();
+    if r.wrong_reads > 0 {
+        unhealthy.push(format!("{} wrong read(s)", r.wrong_reads));
+    }
+    if r.lost_acked_writes > 0 {
+        unhealthy.push(format!(
+            "{} lost acknowledged write(s)",
+            r.lost_acked_writes
+        ));
+    }
+    if r.survivor_acked_during_outage == 0 {
+        unhealthy.push("survivor shard served no writes during the outage".to_string());
+    }
+    if !r.victim_restarted {
+        unhealthy.push("victim shard never restarted".to_string());
+    }
+    if !r.final_audit {
+        unhealthy.push("final audit failed".to_string());
+    }
+    if !unhealthy.is_empty() {
+        eprintln!("shard phase UNHEALTHY: {}", unhealthy.join(", "));
+        std::process::exit(1);
+    }
+    println!("shard phase healthy: the fleet kept serving through a shard kill and restart");
 }

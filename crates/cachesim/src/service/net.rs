@@ -57,17 +57,32 @@
 //! scrubber control-lock sites that could poison-panic on a crashed
 //! worker were hardened as part of this change.
 
+//! # Batched execution and sharding
+//!
+//! The serve path is batch-native: pipelined frames (and
+//! `GET_MULTI`/`SET_MULTI` items) drain greedily into a per-connection
+//! [`BatchArena`], execute bank-grouped under amortized locks, and
+//! answer in one buffered write — see [`server`]. Horizontally, the
+//! [`ShardedClient`] rendezvous-hashes keys across N independent
+//! servers, splits logical batches into per-shard pipelines, and keeps
+//! serving the survivors when a shard dies — see [`sharded`].
+
 pub mod chaos;
 pub mod client;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod sharded;
 
-pub use chaos::{run_net_chaos, NetChaosConfig, NetChaosReport};
-pub use client::{ClientConfig, NetClient};
-pub use loadgen::{run_load, LoadConfig, LoadReport};
-pub use protocol::{
-    BankHealth, FrameRead, HealthReport, ProtocolError, Request, Response, ResponseKind,
-    ScrubSnapshot, ServerError,
+pub use chaos::{
+    run_net_chaos, run_shard_chaos, NetChaosConfig, NetChaosReport, ShardChaosConfig,
+    ShardChaosReport,
 };
-pub use server::{CacheServer, ServerConfig, ServerStats};
+pub use client::{ClientConfig, NetClient};
+pub use loadgen::{run_load, run_load_sharded, LoadConfig, LoadReport};
+pub use protocol::{
+    BankHealth, FrameRead, HealthReport, ItemOutcome, ProtocolError, Request, RequestFrame,
+    Response, ResponseKind, ScrubSnapshot, ServerError,
+};
+pub use server::{BatchArena, CacheServer, ServerConfig, ServerStats};
+pub use sharded::{rendezvous_shard, ShardOutcome, ShardedClient};

@@ -13,13 +13,14 @@
 //! service bug, not compound-damage bad luck.
 
 use super::client::{ClientConfig, NetClient};
-use super::protocol::Response;
+use super::protocol::{Request, Response};
 use super::server::{CacheServer, ServerConfig, ServerStats};
+use super::sharded::{ShardOutcome, ShardedClient};
 use memarray::ErrorShape;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use twod_cache::{CacheConfig, ConcurrentBankedCache, Scrubber, ScrubberConfig, TwoDScheme};
 
@@ -347,6 +348,411 @@ fn health_poll_loop(addr: std::net::SocketAddr, stop: &AtomicBool, observed: &At
         }
     }
     false
+}
+
+/// Configuration of one shard-kill chaos run: two independent servers,
+/// sharded clients spraying verified traffic across both, one server
+/// killed mid-storm and later restarted (same cache, new port).
+#[derive(Clone, Debug)]
+pub struct ShardChaosConfig {
+    /// Master seed for client streams and injection positions.
+    pub seed: u64,
+    /// Banks per shard cache.
+    pub banks: usize,
+    /// Sets per bank.
+    pub sets: usize,
+    /// Associativity per bank.
+    pub ways: usize,
+    /// Concurrent sharded-client threads.
+    pub clients: usize,
+    /// Pipelined batches issued per client.
+    pub batches_per_client: u64,
+    /// Requests per pipelined batch.
+    pub batch_depth: usize,
+    /// Distinct key ranks per client partition.
+    pub key_ranks: usize,
+    /// Fraction of requests that are `SET`s.
+    pub write_fraction: f64,
+    /// Fleet-wide batch-progress fraction at which the victim is
+    /// killed (progress-driven, not wall-clock, so the outage always
+    /// lands mid-traffic regardless of machine speed).
+    pub kill_at_fraction: f64,
+    /// Progress fraction at which the victim restarts; the remaining
+    /// batches exercise directory refresh + lazy re-dial healing.
+    pub restart_at_fraction: f64,
+    /// The survivor-side fault storm is paced to span roughly this
+    /// window while the victim is down.
+    pub outage_hold: Duration,
+    /// Fault injections on the *survivor* while the victim is down
+    /// (the kill happens mid-storm, not in calm waters).
+    pub storm_injections: u32,
+    /// Shed-aware retry attempts per batch.
+    pub retry_attempts: u32,
+    /// Server tuning for both shards.
+    pub server: ServerConfig,
+}
+
+impl ShardChaosConfig {
+    /// The CI smoke configuration: a two-shard fleet, sub-ten-seconds
+    /// on one CPU, with the victim down for a meaningful slice of the
+    /// run.
+    pub fn quick(seed: u64) -> Self {
+        ShardChaosConfig {
+            seed,
+            banks: 4,
+            sets: 24,
+            ways: 2,
+            clients: 3,
+            batches_per_client: 220,
+            batch_depth: 16,
+            key_ranks: 2_000,
+            write_fraction: 0.35,
+            kill_at_fraction: 0.2,
+            restart_at_fraction: 0.55,
+            outage_hold: Duration::from_millis(100),
+            storm_injections: 8,
+            retry_attempts: 6,
+            server: ServerConfig::default(),
+        }
+    }
+
+    fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            sets: self.sets,
+            ways: self.ways,
+            data_scheme: TwoDScheme::l1_paper(),
+            tag_scheme: TwoDScheme {
+                data_bits: 50,
+                ..TwoDScheme::l1_paper()
+            },
+        }
+    }
+}
+
+/// Result of one shard-kill chaos run. The invariants a caller must
+/// gate on: `wrong_reads == 0`, `lost_acked_writes == 0`,
+/// `survivor_acked_during_outage > 0` (the fleet kept serving while a
+/// shard was down), `victim_restarted`, and `final_audit` on both
+/// shards.
+#[derive(Clone, Debug, Default)]
+pub struct ShardChaosReport {
+    /// Requests answered across all clients.
+    pub ops: u64,
+    /// `SET`s acknowledged by either shard.
+    pub acked_writes: u64,
+    /// Owned reads verified against a client's private model mid-run.
+    pub verified_reads: u64,
+    /// Mid-run verified reads that disagreed — **must be zero**.
+    pub wrong_reads: u64,
+    /// Slots answered [`ShardOutcome::ShardDown`] (expected nonzero:
+    /// the victim really was unreachable).
+    pub shard_down_slots: u64,
+    /// Writes acknowledged *while the victim was down* — **must be
+    /// positive**: the surviving shard kept serving its keys.
+    pub survivor_acked_during_outage: u64,
+    /// Acknowledged writes the final readback could not recover —
+    /// **must be zero**.
+    pub lost_acked_writes: u64,
+    /// Acknowledged writes re-checked by the final readback.
+    pub readback_checked: u64,
+    /// Requests shed `BUSY`/`DEGRADED` after retries.
+    pub gave_up: u64,
+    /// Requests answered `FAULT`.
+    pub faults: u64,
+    /// Lazy re-dials performed by the sharded clients (heals counted
+    /// after each client's initial fan-out).
+    pub reconnects: u64,
+    /// Fault injections performed on the survivor during the outage.
+    pub injections: u32,
+    /// The victim came back and the address directory was republished.
+    pub victim_restarted: bool,
+    /// Both shard caches passed their full audit after the run.
+    pub final_audit: bool,
+}
+
+/// Runs the shard-kill chaos phase: spawn two shard servers, start
+/// sharded clients spraying ownership-verified traffic, kill shard 1
+/// mid-storm (its process-equivalent: abrupt server shutdown), inject
+/// faults on the survivor while it is the whole fleet, restart the
+/// victim on the *same* cache (a rebooted node keeps its array) at a
+/// fresh port, republish the address directory, and finally read back
+/// every acknowledged write through a fresh sharded client.
+///
+/// # Panics
+///
+/// Panics if the loopback servers cannot be spawned (environment
+/// failure, not a chaos outcome).
+pub fn run_shard_chaos(cfg: &ShardChaosConfig) -> ShardChaosReport {
+    const VICTIM: usize = 1;
+    let caches: Vec<Arc<ConcurrentBankedCache>> = (0..2)
+        .map(|_| Arc::new(ConcurrentBankedCache::new(cfg.cache_config(), cfg.banks)))
+        .collect();
+    let mut servers: Vec<Option<CacheServer>> = caches
+        .iter()
+        .map(|cache| {
+            Some(
+                CacheServer::spawn(Arc::clone(cache), None, "127.0.0.1:0", cfg.server)
+                    .expect("bind loopback shard server"),
+            )
+        })
+        .collect();
+    // The address directory a real fleet would keep in service
+    // discovery: clients poll it and re-point shards that moved.
+    let directory: Arc<Mutex<Vec<std::net::SocketAddr>>> = Arc::new(Mutex::new(
+        servers
+            .iter()
+            .map(|s| s.as_ref().unwrap().local_addr())
+            .collect(),
+    ));
+    let outage_active = Arc::new(AtomicBool::new(false));
+    // Fleet-wide completed-batch counter: the coordinator keys the kill
+    // and the restart off *traffic progress*, so the outage always
+    // straddles live batches no matter how fast the machine is.
+    let progress = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let total_batches = cfg.clients as u64 * cfg.batches_per_client;
+    let progress_at = |fraction: f64| ((total_batches as f64) * fraction) as u64;
+    let wait_progress = |target: u64| {
+        while progress.load(Ordering::Relaxed) < target.min(total_batches) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    };
+
+    let mut report = ShardChaosReport::default();
+    let (tallies, injections, victim_restarted) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.clients);
+        for t in 0..cfg.clients {
+            let cfg = cfg.clone();
+            let directory = Arc::clone(&directory);
+            let outage = Arc::clone(&outage_active);
+            let progress = Arc::clone(&progress);
+            handles.push(
+                scope.spawn(move || run_shard_client(t, &cfg, &directory, &outage, &progress)),
+            );
+        }
+
+        // Coordinator: wait for traffic to be flowing, kill the victim,
+        // storm the survivor, then restart the victim on the same cache
+        // at a fresh port once enough of the run has happened under the
+        // outage.
+        wait_progress(progress_at(cfg.kill_at_fraction));
+        outage_active.store(true, Ordering::SeqCst);
+        if let Some(victim) = servers[VICTIM].take() {
+            victim.shutdown();
+        }
+        let survivor_cache = Arc::clone(&caches[1 - VICTIM]);
+        let injections = {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0DD_BA11);
+            let (rows, cols) = {
+                let bank0 = survivor_cache.lock_bank(0);
+                (bank0.data_array().rows(), bank0.data_array().cols())
+            };
+            let vertical = cfg.cache_config().data_scheme.vertical_rows.min(rows);
+            let mut injected = 0u32;
+            for i in 0..cfg.storm_injections {
+                let bank = (i as usize) % survivor_cache.banks();
+                let _ = survivor_cache.scrub();
+                let height = rng.gen_range(1..=vertical.max(1).min(rows));
+                let width = rng.gen_range(1..=2usize.min(cols));
+                let row = rng.gen_range(0..=(rows - height));
+                let col = rng.gen_range(0..=(cols - width));
+                cache_inject(&survivor_cache, bank, row, col, height, width);
+                injected += 1;
+                std::thread::sleep(cfg.outage_hold / (cfg.storm_injections.max(1) * 2));
+            }
+            injected
+        };
+        wait_progress(progress_at(cfg.restart_at_fraction));
+        let restarted =
+            CacheServer::spawn(Arc::clone(&caches[VICTIM]), None, "127.0.0.1:0", cfg.server)
+                .map(|server| {
+                    directory
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())[VICTIM] =
+                        server.local_addr();
+                    servers[VICTIM] = Some(server);
+                })
+                .is_ok();
+        outage_active.store(false, Ordering::SeqCst);
+
+        let tallies: Vec<ShardClientTally> = handles
+            .into_iter()
+            .map(|h| h.join().expect("shard chaos client panicked"))
+            .collect();
+        (tallies, injections, restarted)
+    });
+
+    for tally in &tallies {
+        report.ops += tally.ops;
+        report.acked_writes += tally.acked_writes;
+        report.verified_reads += tally.verified_reads;
+        report.wrong_reads += tally.wrong_reads;
+        report.shard_down_slots += tally.shard_down_slots;
+        report.survivor_acked_during_outage += tally.survivor_acked_during_outage;
+        report.gave_up += tally.gave_up;
+        report.faults += tally.faults;
+        report.reconnects += tally.reconnects;
+    }
+    report.injections = injections;
+    report.victim_restarted = victim_restarted;
+
+    // Final readback through a fresh sharded client over the final
+    // directory: every acknowledged write must be recoverable now that
+    // both shards are up (the victim kept its cache across restart).
+    let final_addrs = directory
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clone();
+    let mut readback = ShardedClient::new(&final_addrs);
+    let mut outcomes = Vec::new();
+    for tally in &tallies {
+        for (&key, &value) in &tally.model {
+            report.readback_checked += 1;
+            readback.pipeline_retry(
+                &[Request::Get { key }],
+                cfg.retry_attempts.max(16),
+                &mut outcomes,
+            );
+            match outcomes.first() {
+                Some(ShardOutcome::Response(Response::Value(v))) if *v == value => {}
+                _ => report.lost_acked_writes += 1,
+            }
+        }
+    }
+
+    for server in servers.into_iter().flatten() {
+        server.shutdown();
+    }
+    report.final_audit = caches.iter().all(|cache| cache.audit());
+    report
+}
+
+/// Bounded-cluster injection helper shared with the storm loop.
+fn cache_inject(
+    cache: &ConcurrentBankedCache,
+    bank: usize,
+    row: usize,
+    col: usize,
+    height: usize,
+    width: usize,
+) {
+    cache.inject_bank_error(
+        bank,
+        ErrorShape::Cluster {
+            row,
+            col,
+            height,
+            width,
+        },
+    );
+}
+
+/// Per-sharded-client tally.
+#[derive(Default)]
+struct ShardClientTally {
+    ops: u64,
+    acked_writes: u64,
+    verified_reads: u64,
+    wrong_reads: u64,
+    shard_down_slots: u64,
+    survivor_acked_during_outage: u64,
+    gave_up: u64,
+    faults: u64,
+    reconnects: u64,
+    model: HashMap<u64, u64>,
+}
+
+/// One sharded chaos client: pipelined ownership-verified traffic
+/// through a [`ShardedClient`], refreshing shard addresses from the
+/// directory each batch (so a restarted victim heals mid-run), with
+/// transport-uncertain keys exempted from verification exactly like
+/// the single-server chaos client.
+fn run_shard_client(
+    t: usize,
+    cfg: &ShardChaosConfig,
+    directory: &Mutex<Vec<std::net::SocketAddr>>,
+    outage_active: &AtomicBool,
+    progress: &std::sync::atomic::AtomicU64,
+) -> ShardClientTally {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0x5AA2_D000 + t as u64));
+    let mut tally = ShardClientTally::default();
+    let addrs = directory
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clone();
+    let mut client = ShardedClient::new(&addrs);
+    let initial_dials = client.shard_count() as u64;
+    let mut uncertain: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut batch: Vec<Request> = Vec::with_capacity(cfg.batch_depth);
+    let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(cfg.batch_depth);
+    for _ in 0..cfg.batches_per_client {
+        // Directory refresh: re-point any shard whose published address
+        // moved (the restarted victim comes back on a new port).
+        {
+            let current = directory
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for (shard, &addr) in current.iter().enumerate() {
+                if client.shard_addr(shard) != addr {
+                    client.set_shard_addr(shard, addr);
+                }
+            }
+        }
+        batch.clear();
+        for _ in 0..cfg.batch_depth {
+            let rank = rng.gen_range(0..cfg.key_ranks);
+            let key = (rank as u64) * (cfg.clients as u64) + t as u64;
+            if rng.gen_bool(cfg.write_fraction) {
+                batch.push(Request::Set {
+                    key,
+                    value: rng.gen(),
+                });
+            } else {
+                batch.push(Request::Get { key });
+            }
+        }
+        let during_outage = outage_active.load(Ordering::Relaxed);
+        client.pipeline_retry(&batch, cfg.retry_attempts, &mut outcomes);
+        for (req, outcome) in batch.iter().zip(&outcomes) {
+            tally.ops += 1;
+            let resp = match outcome {
+                ShardOutcome::Response(resp) => resp,
+                ShardOutcome::ShardDown => {
+                    tally.shard_down_slots += 1;
+                    if let Request::Set { key, .. } = req {
+                        tally.model.remove(key);
+                        uncertain.insert(*key);
+                    }
+                    continue;
+                }
+            };
+            match (req, resp) {
+                (Request::Set { key, value }, Response::Ok) => {
+                    tally.acked_writes += 1;
+                    if during_outage {
+                        tally.survivor_acked_during_outage += 1;
+                    }
+                    uncertain.remove(key);
+                    tally.model.insert(*key, *value);
+                }
+                (Request::Get { key }, Response::Value(v)) if !uncertain.contains(key) => {
+                    if let Some(&expected) = tally.model.get(key) {
+                        tally.verified_reads += 1;
+                        if *v != expected {
+                            tally.wrong_reads += 1;
+                        }
+                    }
+                }
+                (_, Response::Busy { .. }) | (_, Response::Degraded { .. }) => {
+                    tally.gave_up += 1;
+                }
+                (_, Response::Fault) => tally.faults += 1,
+                _ => {}
+            }
+        }
+        progress.fetch_add(1, Ordering::Relaxed);
+    }
+    tally.reconnects = client.reconnects().saturating_sub(initial_dials);
+    tally
 }
 
 /// One chaos client: owned-partition writes with an acked-write model,

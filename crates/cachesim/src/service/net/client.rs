@@ -4,7 +4,8 @@
 //! chaos campaign kills and re-establishes connections mid-storm).
 
 use super::protocol::{
-    self, FrameRead, HealthReport, Request, Response, ResponseKind, ScrubSnapshot, ServerError,
+    self, FrameRead, HealthReport, ItemOutcome, Request, Response, ResponseKind, ScrubSnapshot,
+    ServerError,
 };
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -151,6 +152,110 @@ impl NetClient {
         Ok(responses)
     }
 
+    /// [`NetClient::pipeline`] with shed-aware retries: after each
+    /// round, requests answered `BUSY`/`DEGRADED` are re-pipelined
+    /// (only those — already-resolved slots are never re-sent), after
+    /// sleeping the *largest* retry-after hint among them. Results land
+    /// in their original slots, so the returned order always matches
+    /// `reqs` regardless of how many rounds each request needed.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors abort the whole batch; exhausting
+    /// `attempts` leaves the final shed responses in place (callers can
+    /// distinguish "still shedding" from "broken").
+    pub fn pipeline_retry(
+        &mut self,
+        reqs: &[Request],
+        attempts: u32,
+    ) -> Result<Vec<Response>, ServerError> {
+        let mut responses = self.pipeline(reqs)?;
+        let mut pending: Vec<usize> = Vec::new();
+        let mut retry_reqs: Vec<Request> = Vec::new();
+        for _ in 1..attempts.max(1) {
+            pending.clear();
+            let mut max_hint_ms = 0u32;
+            for (i, resp) in responses.iter().enumerate() {
+                if let Response::Busy { retry_after_ms } | Response::Degraded { retry_after_ms } =
+                    *resp
+                {
+                    pending.push(i);
+                    max_hint_ms = max_hint_ms.max(retry_after_ms.max(1));
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(u64::from(max_hint_ms.min(100))));
+            retry_reqs.clear();
+            retry_reqs.extend(pending.iter().map(|&i| reqs[i]));
+            let retried = self.pipeline(&retry_reqs)?;
+            for (&slot, resp) in pending.iter().zip(retried) {
+                responses[slot] = resp;
+            }
+        }
+        Ok(responses)
+    }
+
+    /// `GET_MULTI`: fetches many keys in one frame, filling `out` with
+    /// one [`ItemOutcome`] per key, in key order. The outcome buffer is
+    /// caller-owned so a hot loop reuses its capacity.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors,
+    /// [`ProtocolError::TooManyItems`](super::protocol::ProtocolError::TooManyItems)
+    /// (wrapped) when `keys` exceeds
+    /// [`MAX_MULTI_ITEMS`](protocol::MAX_MULTI_ITEMS), and
+    /// [`ServerError::IdMismatch`] on a desynced stream.
+    pub fn get_multi(
+        &mut self,
+        keys: &[u64],
+        out: &mut Vec<ItemOutcome>,
+    ) -> Result<(), ServerError> {
+        let id = self.fresh_id();
+        self.out.clear();
+        protocol::encode_get_multi(id, keys, &mut self.out)?;
+        protocol::write_all(&mut self.writer, &self.out)?;
+        self.writer.flush().map_err(ServerError::from)?;
+        self.await_frame()?;
+        let got_id = protocol::decode_multi_response(&self.payload, true, out)?;
+        if got_id != id {
+            return Err(ServerError::IdMismatch {
+                expected: id,
+                got: got_id,
+            });
+        }
+        Ok(())
+    }
+
+    /// `SET_MULTI`: writes many key/value pairs in one frame, filling
+    /// `out` with one [`ItemOutcome`] per pair, in pair order.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::get_multi`].
+    pub fn set_multi(
+        &mut self,
+        items: &[(u64, u64)],
+        out: &mut Vec<ItemOutcome>,
+    ) -> Result<(), ServerError> {
+        let id = self.fresh_id();
+        self.out.clear();
+        protocol::encode_set_multi(id, items, &mut self.out)?;
+        protocol::write_all(&mut self.writer, &self.out)?;
+        self.writer.flush().map_err(ServerError::from)?;
+        self.await_frame()?;
+        let got_id = protocol::decode_multi_response(&self.payload, false, out)?;
+        if got_id != id {
+            return Err(ServerError::IdMismatch {
+                expected: id,
+                got: got_id,
+            });
+        }
+        Ok(())
+    }
+
     /// `GET key`, returning the stored value.
     ///
     /// # Errors
@@ -245,13 +350,14 @@ impl NetClient {
         }
     }
 
-    /// Reads one response frame, polling through idle read timeouts
-    /// until [`ClientConfig::response_deadline`], and verifies its id.
-    fn read_response(&mut self, want_id: u32, kind: ResponseKind) -> Result<Response, ServerError> {
+    /// Fills `self.payload` with the next response frame, polling
+    /// through idle read timeouts until
+    /// [`ClientConfig::response_deadline`].
+    fn await_frame(&mut self) -> Result<(), ServerError> {
         let begun = Instant::now();
         loop {
             match protocol::read_frame(&mut self.reader, &mut self.payload)? {
-                FrameRead::Frame => break,
+                FrameRead::Frame => return Ok(()),
                 FrameRead::Eof => return Err(ServerError::Closed),
                 FrameRead::Idle => {
                     if begun.elapsed() >= self.cfg.response_deadline {
@@ -260,6 +366,11 @@ impl NetClient {
                 }
             }
         }
+    }
+
+    /// Reads one response frame and verifies its id.
+    fn read_response(&mut self, want_id: u32, kind: ResponseKind) -> Result<Response, ServerError> {
+        self.await_frame()?;
         let (id, resp) = protocol::decode_response(&self.payload, kind)?;
         if id != want_id {
             return Err(ServerError::IdMismatch {

@@ -12,6 +12,7 @@
 
 use super::client::{ClientConfig, NetClient};
 use super::protocol::{Request, Response, ServerError};
+use super::sharded::{ShardOutcome, ShardedClient};
 use crate::ZipfSampler;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -174,9 +175,61 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
             .collect()
     });
     let wall_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    Ok(fold_tallies(cfg.connections, wall_ns, tallies))
+}
 
+/// Runs the same ownership-verified Zipf workload through
+/// [`ShardedClient`]s over `addrs` — each connection thread owns one
+/// sharded client, rendezvous-routing every key, so the run exercises
+/// per-shard pipelining and reassembly exactly as a production caller
+/// would. `addrs.len()` is the shard-count knob;
+/// [`LoadConfig::pipeline_depth`] is the batch-depth knob.
+///
+/// A [`ShardOutcome::ShardDown`] slot counts as a transport error; a
+/// down shard's acked-write model entries become *uncertain* (the write
+/// never happened, but a racing earlier write's fate is unknowable from
+/// here) exactly like a mid-batch disconnect in [`run_load`].
+///
+/// # Errors
+///
+/// Fails fast if any shard refuses its initial probe connection, so a
+/// misconfigured fleet surfaces immediately instead of half-running.
+///
+/// # Panics
+///
+/// As [`run_load`], plus `addrs` must be nonempty.
+pub fn run_load_sharded(addrs: &[SocketAddr], cfg: &LoadConfig) -> Result<LoadReport, ServerError> {
+    assert!(cfg.connections >= 1, "load needs a connection");
+    assert!(cfg.pipeline_depth >= 1, "pipeline depth must be positive");
+    assert!(cfg.key_ranks >= 1, "key space must be nonempty");
+    assert!(!addrs.is_empty(), "sharded load needs at least one shard");
+    let sampler = Arc::new(ZipfSampler::new(cfg.key_ranks, cfg.zipf_theta));
+    // Probe every shard up front so a refused listener fails fast.
+    for &addr in addrs {
+        drop(NetClient::connect_with(addr, cfg.client)?);
+    }
+    let started = Instant::now();
+    let tallies: Vec<ConnTally> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.connections);
+        for t in 0..cfg.connections {
+            let sampler = Arc::clone(&sampler);
+            let client = ShardedClient::with_config(addrs, cfg.client);
+            handles.push(scope.spawn(move || run_connection_sharded(t, client, cfg, &sampler)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let wall_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    Ok(fold_tallies(cfg.connections, wall_ns, tallies))
+}
+
+/// Folds per-connection tallies into the aggregate report with sorted
+/// tail percentiles.
+fn fold_tallies(connections: usize, wall_ns: u64, tallies: Vec<ConnTally>) -> LoadReport {
     let mut report = LoadReport {
-        connections: cfg.connections,
+        connections,
         wall_ns,
         ..LoadReport::default()
     };
@@ -208,7 +261,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Server
         report.p999_ns = pick(0.999);
         report.max_ns = latencies[n - 1];
     }
-    Ok(report)
+    report
 }
 
 /// Maps a sampled popularity rank and an owner partition to a wire key.
@@ -310,5 +363,95 @@ fn run_connection(
             }
         }
     }
+    tally
+}
+
+/// The sharded-client twin of [`run_connection`]: same request stream
+/// and the same ownership model, driven through
+/// [`ShardedClient::pipeline`]. Down-shard slots are tallied as
+/// transport errors and poison their `SET` keys as uncertain;
+/// reconnection is the client's lazy-redial job, surfaced via its
+/// [`ShardedClient::reconnects`] counter (initial dials excluded).
+fn run_connection_sharded(
+    t: usize,
+    mut client: ShardedClient,
+    cfg: &LoadConfig,
+    sampler: &ZipfSampler,
+) -> ConnTally {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xC0FF_EE00 + t as u64));
+    let mut tally = ConnTally::default();
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let mut uncertain: HashSet<u64> = HashSet::new();
+    let mut batch: Vec<Request> = Vec::with_capacity(cfg.pipeline_depth);
+    let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(cfg.pipeline_depth);
+    let initial_dials = client.shard_count() as u64;
+    let mut issued = 0u64;
+    while issued < cfg.ops_per_connection {
+        batch.clear();
+        let depth = cfg
+            .pipeline_depth
+            .min((cfg.ops_per_connection - issued) as usize);
+        for _ in 0..depth {
+            let rank = sampler.sample(&mut rng);
+            if rng.gen_bool(cfg.write_fraction) {
+                let key = key_of(rank, t, cfg.connections);
+                batch.push(Request::Set {
+                    key,
+                    value: rng.gen(),
+                });
+            } else {
+                let owner = rng.gen_range(0..cfg.connections);
+                batch.push(Request::Get {
+                    key: key_of(rank, owner, cfg.connections),
+                });
+            }
+        }
+        issued += batch.len() as u64;
+        let begun = Instant::now();
+        client.pipeline(&batch, &mut outcomes);
+        let per_op = Instant::now()
+            .duration_since(begun)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64
+            / outcomes.len().max(1) as u64;
+        for (req, outcome) in batch.iter().zip(&outcomes) {
+            tally.ops += 1;
+            tally.latencies.push(per_op);
+            let resp = match outcome {
+                ShardOutcome::Response(resp) => resp,
+                ShardOutcome::ShardDown => {
+                    tally.transport_errors += 1;
+                    if let Request::Set { key, .. } = req {
+                        model.remove(key);
+                        uncertain.insert(*key);
+                    }
+                    continue;
+                }
+            };
+            match (req, resp) {
+                (Request::Set { key, value }, Response::Ok) => {
+                    tally.acked_writes += 1;
+                    uncertain.remove(key);
+                    model.insert(*key, *value);
+                }
+                (Request::Get { key }, Response::Value(v)) => {
+                    tally.values += 1;
+                    if *key % cfg.connections as u64 == t as u64 && !uncertain.contains(key) {
+                        let expected = model.get(key).copied().unwrap_or(0);
+                        tally.verified_reads += 1;
+                        if *v != expected {
+                            tally.wrong_reads += 1;
+                        }
+                    }
+                }
+                (_, Response::Busy { .. }) => tally.busy += 1,
+                (_, Response::Degraded { .. }) => tally.degraded += 1,
+                (_, Response::Fault) => tally.faults += 1,
+                (_, Response::BadRequest) => tally.bad_requests += 1,
+                _ => {}
+            }
+        }
+    }
+    tally.reconnects = client.reconnects().saturating_sub(initial_dials);
     tally
 }

@@ -23,6 +23,27 @@
 //! empty; `OK` to `HEALTH`/`SCRUB_STATS` carries the serialized
 //! [`HealthReport`] / [`ScrubSnapshot`].
 //!
+//! # Batched (multi-item) frames
+//!
+//! `GET_MULTI` and `SET_MULTI` carry many keyed operations in one
+//! frame, which is what lets the server amortize decode, bank locks,
+//! and the response write across a whole batch:
+//!
+//! ```text
+//! GET_MULTI:  u8 op, u32 LE id, u16 LE count, count x u64 LE key
+//! SET_MULTI:  u8 op, u32 LE id, u16 LE count, count x (u64 key, u64 value)
+//! response:   u8 OK, u32 LE id, u16 LE count, count x (u8 status, u64 LE payload)
+//! ```
+//!
+//! Item counts are bounded by [`MAX_MULTI_ITEMS`] so the largest legal
+//! multi frame (and its response) stays within [`MAX_FRAME_BYTES`];
+//! overflow is the typed [`ProtocolError::TooManyItems`], never a
+//! truncation. Each response item carries its own status byte (the same
+//! [`status`] codes single responses use) plus a `u64` payload — the
+//! value for an `OK` get item, the retry-after hint (milliseconds) for
+//! `BUSY`/`DEGRADED` items, `0` otherwise — so one frame can mix served
+//! and shed items without reordering. See [`ItemOutcome`].
+//!
 //! Keys are capped at [`MAX_KEY`] (51 bits): the server maps keys to
 //! aligned 64-bit word addresses through an invertible mixer
 //! ([`route_key`]), and injectivity — two distinct keys can never alias
@@ -55,6 +76,12 @@ pub const MAX_KEY: u64 = (1 << 51) - 1;
 /// with generous slack).
 pub const MAX_HEALTH_BANKS: usize = 1024;
 
+/// Most items one `GET_MULTI`/`SET_MULTI` frame may carry. Sized so the
+/// largest legal frame stays under [`MAX_FRAME_BYTES`]: a `SET_MULTI`
+/// payload is `7 + 16 * count` bytes (64 007 at the cap) and the multi
+/// response is `7 + 9 * count` (36 007), both with room to spare.
+pub const MAX_MULTI_ITEMS: usize = 4000;
+
 /// Request opcodes on the wire.
 pub mod opcode {
     /// `GET key` — read one value.
@@ -65,6 +92,10 @@ pub mod opcode {
     pub const HEALTH: u8 = 0x03;
     /// `SCRUB_STATS` — scrubber counters + reliability telemetry.
     pub const SCRUB_STATS: u8 = 0x04;
+    /// `GET_MULTI count keys...` — read many values in one frame.
+    pub const GET_MULTI: u8 = 0x05;
+    /// `SET_MULTI count (key,value)...` — store many pairs in one frame.
+    pub const SET_MULTI: u8 = 0x06;
 }
 
 /// Response status bytes on the wire.
@@ -173,6 +204,19 @@ pub struct BankHealth {
     pub retry_after_ms: u32,
 }
 
+impl BankHealth {
+    /// Admission occupancy: `inflight` as a fraction of the admission
+    /// limit (`0.0` when the limit is zero). `1.0` means the next
+    /// request sheds BUSY.
+    pub fn occupancy(&self) -> f64 {
+        if self.admission_limit == 0 {
+            0.0
+        } else {
+            f64::from(self.inflight) / f64::from(self.admission_limit)
+        }
+    }
+}
+
 /// The `HEALTH` response payload: per-bank state plus optional scrubber
 /// aggregates, enough for a load generator or chaos campaign to assert
 /// that degradation was entered and exited.
@@ -182,6 +226,11 @@ pub struct HealthReport {
     pub banks: Vec<BankHealth>,
     /// Background scrubber counters, when a scrubber is attached.
     pub scrubber: Option<ScrubberStats>,
+    /// The scrubber's clean-scan throughput in GB/s of storage swept
+    /// (`0.0` when no scrubber is attached or nothing was scanned yet).
+    /// Carried explicitly so a load balancer can weigh shards without
+    /// re-deriving rates from raw counters.
+    pub clean_scan_gbps: f64,
 }
 
 impl HealthReport {
@@ -191,6 +240,16 @@ impl HealthReport {
             .iter()
             .filter(|b| b.degraded || b.quarantined)
             .count()
+    }
+
+    /// Mean admission occupancy across banks (see
+    /// [`BankHealth::occupancy`]); `0.0` for an empty report. A cheap
+    /// single-number load signal for shard weighing.
+    pub fn admission_occupancy(&self) -> f64 {
+        if self.banks.is_empty() {
+            return 0.0;
+        }
+        self.banks.iter().map(BankHealth::occupancy).sum::<f64>() / self.banks.len() as f64
     }
 }
 
@@ -243,6 +302,12 @@ pub enum ProtocolError {
         /// The declared count.
         banks: usize,
     },
+    /// A multi frame declared (or an encoder was asked for) more items
+    /// than [`MAX_MULTI_ITEMS`].
+    TooManyItems {
+        /// The declared/requested item count.
+        items: usize,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -267,6 +332,12 @@ impl fmt::Display for ProtocolError {
                 write!(
                     f,
                     "health report declares {banks} banks > max {MAX_HEALTH_BANKS}"
+                )
+            }
+            ProtocolError::TooManyItems { items } => {
+                write!(
+                    f,
+                    "multi frame declares {items} items > max {MAX_MULTI_ITEMS}"
                 )
             }
         }
@@ -459,6 +530,12 @@ pub fn encode_request(id: u32, req: &Request, buf: &mut Vec<u8>) {
 }
 
 /// Decodes one request payload (the bytes after the length prefix).
+///
+/// Single-op frames only: `GET_MULTI`/`SET_MULTI` payloads are rejected
+/// as [`ProtocolError::UnknownOpcode`] here — batch-aware callers (the
+/// server's drain path, multi-capable clients) use
+/// [`decode_request_frame`], which decodes every opcode without
+/// allocating.
 pub fn decode_request(payload: &[u8]) -> Result<(u32, Request), ProtocolError> {
     if payload.is_empty() {
         return Err(ProtocolError::Empty);
@@ -478,6 +555,289 @@ pub fn decode_request(payload: &[u8]) -> Result<(u32, Request), ProtocolError> {
     };
     c.finish()?;
     Ok((id, req))
+}
+
+/// One decoded request frame, multi opcodes included. The multi
+/// variants borrow the payload: item iteration is a bounds-prevalidated
+/// walk over the raw bytes, so decoding a 4000-item frame allocates
+/// nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestFrame<'a> {
+    /// A single-op frame (`GET`/`SET`/`HEALTH`/`SCRUB_STATS`).
+    Single(Request),
+    /// A `GET_MULTI` frame: iterate the keys.
+    GetMulti(MultiKeys<'a>),
+    /// A `SET_MULTI` frame: iterate the `(key, value)` pairs.
+    SetMulti(MultiPairs<'a>),
+}
+
+/// Iterator over a `GET_MULTI` frame's keys (borrowed from the
+/// payload; length validated before construction, so iteration is
+/// infallible).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiKeys<'a> {
+    buf: &'a [u8],
+}
+
+impl Iterator for MultiKeys<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let (head, rest) = self.buf.split_first_chunk::<8>()?;
+        self.buf = rest;
+        Some(u64::from_le_bytes(*head))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.buf.len() / 8;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for MultiKeys<'_> {}
+
+/// Iterator over a `SET_MULTI` frame's `(key, value)` pairs (borrowed
+/// from the payload; length validated before construction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiPairs<'a> {
+    buf: &'a [u8],
+}
+
+impl Iterator for MultiPairs<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        let (head, rest) = self.buf.split_first_chunk::<16>()?;
+        self.buf = rest;
+        let key = u64::from_le_bytes(head[..8].try_into().expect("8-byte chunk"));
+        let value = u64::from_le_bytes(head[8..].try_into().expect("8-byte chunk"));
+        Some((key, value))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.buf.len() / 16;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for MultiPairs<'_> {}
+
+/// Decodes one request payload of *any* opcode, single or multi,
+/// without allocating. Multi item counts beyond [`MAX_MULTI_ITEMS`] are
+/// the typed [`ProtocolError::TooManyItems`]; short or long item arrays
+/// are `Truncated`/`TrailingBytes`, exactly like the fixed layouts.
+pub fn decode_request_frame(payload: &[u8]) -> Result<(u32, RequestFrame<'_>), ProtocolError> {
+    if payload.is_empty() {
+        return Err(ProtocolError::Empty);
+    }
+    let op = payload[0];
+    if op != opcode::GET_MULTI && op != opcode::SET_MULTI {
+        let (id, req) = decode_request(payload)?;
+        return Ok((id, RequestFrame::Single(req)));
+    }
+    let mut c = Cursor::new(payload);
+    let _ = c.u8()?;
+    let id = c.u32()?;
+    let count = u16::from_le_bytes(c.take(2)?.try_into().expect("2-byte take")) as usize;
+    if count > MAX_MULTI_ITEMS {
+        return Err(ProtocolError::TooManyItems { items: count });
+    }
+    let item_bytes = if op == opcode::GET_MULTI { 8 } else { 16 };
+    let body = c.take(count * item_bytes)?;
+    c.finish()?;
+    let frame = if op == opcode::GET_MULTI {
+        RequestFrame::GetMulti(MultiKeys { buf: body })
+    } else {
+        RequestFrame::SetMulti(MultiPairs { buf: body })
+    };
+    Ok((id, frame))
+}
+
+/// Appends one encoded `GET_MULTI` request frame to `buf`.
+///
+/// # Errors
+///
+/// [`ProtocolError::TooManyItems`] when `keys` exceeds
+/// [`MAX_MULTI_ITEMS`] — the caller splits, the encoder never does.
+pub fn encode_get_multi(id: u32, keys: &[u64], buf: &mut Vec<u8>) -> Result<(), ProtocolError> {
+    if keys.len() > MAX_MULTI_ITEMS {
+        return Err(ProtocolError::TooManyItems { items: keys.len() });
+    }
+    let start = begin_frame(buf);
+    buf.push(opcode::GET_MULTI);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&(keys.len() as u16).to_le_bytes());
+    for key in keys {
+        buf.extend_from_slice(&key.to_le_bytes());
+    }
+    end_frame(buf, start);
+    Ok(())
+}
+
+/// Appends one encoded `SET_MULTI` request frame to `buf`.
+///
+/// # Errors
+///
+/// [`ProtocolError::TooManyItems`] when `items` exceeds
+/// [`MAX_MULTI_ITEMS`].
+pub fn encode_set_multi(
+    id: u32,
+    items: &[(u64, u64)],
+    buf: &mut Vec<u8>,
+) -> Result<(), ProtocolError> {
+    if items.len() > MAX_MULTI_ITEMS {
+        return Err(ProtocolError::TooManyItems { items: items.len() });
+    }
+    let start = begin_frame(buf);
+    buf.push(opcode::SET_MULTI);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&(items.len() as u16).to_le_bytes());
+    for (key, value) in items {
+        buf.extend_from_slice(&key.to_le_bytes());
+        buf.extend_from_slice(&value.to_le_bytes());
+    }
+    end_frame(buf, start);
+    Ok(())
+}
+
+/// Per-item outcome inside a multi response: the same vocabulary as
+/// [`Response`], minus the introspection payloads, plus the explicit
+/// get-value variant. One multi frame can mix served and shed items —
+/// shedding is per bank, and a batch can span banks in different
+/// states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemOutcome {
+    /// Get item served with this value.
+    Value(u64),
+    /// Set item committed (acknowledged write).
+    Ok,
+    /// Item shed on admission pressure; retry after the hint.
+    Busy {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Item shed because the owning bank is degraded/quarantined.
+    Degraded {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The item hit uncorrectable damage.
+    Fault,
+    /// The item was rejected (e.g. key above [`MAX_KEY`]).
+    BadRequest,
+}
+
+/// Appends one encoded multi response frame (`count` items pushed
+/// through the returned builder) to `buf`. The frame is finalized — and
+/// its length prefix patched — by [`MultiResponseFrame::finish`].
+pub fn begin_multi_response(id: u32, count: usize, buf: &mut Vec<u8>) -> MultiResponseFrame<'_> {
+    debug_assert!(count <= MAX_MULTI_ITEMS, "count bounded by request decode");
+    let start = begin_frame(buf);
+    buf.push(status::OK);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&(count as u16).to_le_bytes());
+    MultiResponseFrame {
+        buf,
+        start,
+        declared: count,
+        written: 0,
+    }
+}
+
+/// In-progress multi response frame from [`begin_multi_response`]:
+/// push exactly the declared number of items, then [`Self::finish`].
+#[derive(Debug)]
+pub struct MultiResponseFrame<'a> {
+    buf: &'a mut Vec<u8>,
+    start: usize,
+    declared: usize,
+    written: usize,
+}
+
+impl MultiResponseFrame<'_> {
+    /// Appends one item outcome (status byte + `u64` payload).
+    ///
+    /// # Panics
+    ///
+    /// Panics when pushed past the declared count — that is a server
+    /// logic bug, not a network condition.
+    pub fn push(&mut self, item: ItemOutcome) {
+        assert!(self.written < self.declared, "multi response overfilled");
+        let (st, payload) = match item {
+            ItemOutcome::Value(v) => (status::OK, v),
+            ItemOutcome::Ok => (status::OK, 0),
+            ItemOutcome::Busy { retry_after_ms } => (status::BUSY, u64::from(retry_after_ms)),
+            ItemOutcome::Degraded { retry_after_ms } => {
+                (status::DEGRADED, u64::from(retry_after_ms))
+            }
+            ItemOutcome::Fault => (status::FAULT, 0),
+            ItemOutcome::BadRequest => (status::BAD_REQUEST, 0),
+        };
+        self.buf.push(st);
+        self.buf.extend_from_slice(&payload.to_le_bytes());
+        self.written += 1;
+    }
+
+    /// Patches the length prefix, completing the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer items than declared were pushed.
+    pub fn finish(self) {
+        assert_eq!(self.written, self.declared, "multi response underfilled");
+        end_frame(self.buf, self.start);
+    }
+}
+
+/// Decodes one multi response payload into `out` (cleared first),
+/// returning the echoed request id. `get` selects whether `OK` items
+/// decode as [`ItemOutcome::Value`] (answers to `GET_MULTI`) or
+/// [`ItemOutcome::Ok`] (answers to `SET_MULTI`) — the caller knows
+/// which request this frame answers.
+pub fn decode_multi_response(
+    payload: &[u8],
+    get: bool,
+    out: &mut Vec<ItemOutcome>,
+) -> Result<u32, ProtocolError> {
+    out.clear();
+    if payload.is_empty() {
+        return Err(ProtocolError::Empty);
+    }
+    let mut c = Cursor::new(payload);
+    let st = c.u8()?;
+    if st != status::OK {
+        return Err(ProtocolError::UnknownStatus(st));
+    }
+    let id = c.u32()?;
+    let count = u16::from_le_bytes(c.take(2)?.try_into().expect("2-byte take")) as usize;
+    if count > MAX_MULTI_ITEMS {
+        return Err(ProtocolError::TooManyItems { items: count });
+    }
+    out.reserve(count);
+    for _ in 0..count {
+        let st = c.u8()?;
+        let payload = c.u64()?;
+        out.push(match st {
+            status::OK => {
+                if get {
+                    ItemOutcome::Value(payload)
+                } else {
+                    ItemOutcome::Ok
+                }
+            }
+            status::BUSY => ItemOutcome::Busy {
+                retry_after_ms: payload as u32,
+            },
+            status::DEGRADED => ItemOutcome::Degraded {
+                retry_after_ms: payload as u32,
+            },
+            status::FAULT => ItemOutcome::Fault,
+            status::BAD_REQUEST => ItemOutcome::BadRequest,
+            other => return Err(ProtocolError::UnknownStatus(other)),
+        });
+    }
+    c.finish()?;
+    Ok(id)
 }
 
 /// Appends one encoded response frame (length prefix included) to `buf`.
@@ -594,6 +954,7 @@ fn encode_health(report: &HealthReport, buf: &mut Vec<u8>) {
         }
         None => buf.push(0),
     }
+    buf.extend_from_slice(&report.clean_scan_gbps.to_bits().to_le_bytes());
 }
 
 fn decode_health(c: &mut Cursor<'_>) -> Result<HealthReport, ProtocolError> {
@@ -604,6 +965,7 @@ fn decode_health(c: &mut Cursor<'_>) -> Result<HealthReport, ProtocolError> {
     let mut report = HealthReport {
         banks: Vec::with_capacity(banks),
         scrubber: None,
+        clean_scan_gbps: 0.0,
     };
     for _ in 0..banks {
         let flags = c.u8()?;
@@ -620,6 +982,7 @@ fn decode_health(c: &mut Cursor<'_>) -> Result<HealthReport, ProtocolError> {
     if c.u8()? != 0 {
         report.scrubber = Some(decode_scrubber_stats(c)?);
     }
+    report.clean_scan_gbps = c.f64()?;
     Ok(report)
 }
 
@@ -803,6 +1166,7 @@ mod tests {
                 repairs: 1,
                 ..ScrubberStats::default()
             }),
+            clean_scan_gbps: 3.25,
         });
         let cases = [
             (Response::Value(7), ResponseKind::Get),
@@ -870,6 +1234,138 @@ mod tests {
             other => panic!("expected oversized rejection, got {other:?}"),
         }
         assert!(payload.capacity() < MAX_FRAME_BYTES);
+    }
+
+    #[test]
+    fn multi_request_round_trips_without_alloc_on_decode() {
+        let keys: Vec<u64> = (0..37u64).map(|i| i * 3 + 1).collect();
+        let mut buf = Vec::new();
+        encode_get_multi(9, &keys, &mut buf).unwrap();
+        let (id, frame) = decode_request_frame(&buf[4..]).unwrap();
+        assert_eq!(id, 9);
+        match frame {
+            RequestFrame::GetMulti(it) => {
+                assert_eq!(it.len(), keys.len());
+                assert!(it.eq(keys.iter().copied()));
+            }
+            other => panic!("expected GetMulti, got {other:?}"),
+        }
+        let items: Vec<(u64, u64)> = (0..11u64).map(|i| (i, i * i)).collect();
+        buf.clear();
+        encode_set_multi(3, &items, &mut buf).unwrap();
+        let (id, frame) = decode_request_frame(&buf[4..]).unwrap();
+        assert_eq!(id, 3);
+        match frame {
+            RequestFrame::SetMulti(it) => assert!(it.eq(items.iter().copied())),
+            other => panic!("expected SetMulti, got {other:?}"),
+        }
+        // Single frames pass through the same decoder.
+        buf.clear();
+        encode_request(5, &Request::Get { key: 77 }, &mut buf);
+        match decode_request_frame(&buf[4..]).unwrap() {
+            (5, RequestFrame::Single(Request::Get { key: 77 })) => {}
+            other => panic!("expected single GET, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_item_bounds_are_typed_errors() {
+        let too_many = vec![0u64; MAX_MULTI_ITEMS + 1];
+        let mut buf = Vec::new();
+        assert_eq!(
+            encode_get_multi(1, &too_many, &mut buf),
+            Err(ProtocolError::TooManyItems {
+                items: MAX_MULTI_ITEMS + 1
+            })
+        );
+        // A hostile declared count is rejected before any item walk.
+        let mut payload = vec![opcode::GET_MULTI];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&(u16::MAX).to_le_bytes());
+        assert_eq!(
+            decode_request_frame(&payload),
+            Err(ProtocolError::TooManyItems {
+                items: u16::MAX as usize
+            })
+        );
+        // Truncated and padded item arrays are framing errors.
+        let keys = [1u64, 2, 3];
+        buf.clear();
+        encode_get_multi(2, &keys, &mut buf).unwrap();
+        assert!(matches!(
+            decode_request_frame(&buf[4..buf.len() - 1]),
+            Err(ProtocolError::Truncated { .. })
+        ));
+        buf.push(0xAA);
+        assert!(matches!(
+            decode_request_frame(&buf[4..]),
+            Err(ProtocolError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn multi_response_round_trips_mixed_statuses() {
+        let outcomes = [
+            ItemOutcome::Value(u64::MAX),
+            ItemOutcome::Busy { retry_after_ms: 7 },
+            ItemOutcome::Degraded { retry_after_ms: 40 },
+            ItemOutcome::Fault,
+            ItemOutcome::BadRequest,
+            ItemOutcome::Value(0),
+        ];
+        let mut buf = Vec::new();
+        let mut frame = begin_multi_response(12, outcomes.len(), &mut buf);
+        for o in outcomes {
+            frame.push(o);
+        }
+        frame.finish();
+        let mut back = Vec::new();
+        let id = decode_multi_response(&buf[4..], true, &mut back).unwrap();
+        assert_eq!(id, 12);
+        assert_eq!(back, outcomes);
+        // The same frame decoded as a SET_MULTI answer maps OK items to
+        // plain acks.
+        let id = decode_multi_response(&buf[4..], false, &mut back).unwrap();
+        assert_eq!(id, 12);
+        assert_eq!(back[0], ItemOutcome::Ok);
+        assert_eq!(back[5], ItemOutcome::Ok);
+    }
+
+    #[test]
+    fn decode_request_frame_matches_decode_request_on_multi_rejection() {
+        // The single-op decoder stays single-op: multi payloads are
+        // rejected rather than half-decoded.
+        let mut buf = Vec::new();
+        encode_get_multi(1, &[1, 2], &mut buf).unwrap();
+        assert!(matches!(
+            decode_request(&buf[4..]),
+            Err(ProtocolError::UnknownOpcode(op)) if op == opcode::GET_MULTI
+        ));
+    }
+
+    #[test]
+    fn health_report_occupancy_and_gbps_round_trip() {
+        let report = HealthReport {
+            banks: vec![
+                BankHealth {
+                    inflight: 16,
+                    admission_limit: 64,
+                    ..BankHealth::default()
+                },
+                BankHealth {
+                    inflight: 64,
+                    admission_limit: 64,
+                    ..BankHealth::default()
+                },
+            ],
+            scrubber: None,
+            clean_scan_gbps: 7.5,
+        };
+        assert!((report.admission_occupancy() - 0.625).abs() < 1e-12);
+        let mut buf = Vec::new();
+        encode_response(4, &Response::Health(report.clone()), &mut buf);
+        let (_, back) = decode_response(&buf[4..], ResponseKind::Health).unwrap();
+        assert_eq!(back, Response::Health(report));
     }
 
     #[test]

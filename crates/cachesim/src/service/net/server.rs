@@ -34,17 +34,34 @@
 //! `DEGRADED` response carrying the remaining window as its retry-after
 //! hint. Administrative [`CacheServer::quarantine_bank`] sheds
 //! indefinitely until lifted. The `HEALTH` opcode exposes all of it.
+//!
+//! # Batched execution
+//!
+//! The handler is batch-native: after a blocking [`protocol::read_frame`]
+//! returns one frame, every *complete* frame already sitting in the
+//! connection's `BufReader` is greedily drained and decoded into a
+//! reusable [`BatchArena`] — single ops and `GET_MULTI`/`SET_MULTI`
+//! items alike. Admission runs once per bank *group* (slots reserved in
+//! bulk, sheds decided per item), the cache executes the whole batch via
+//! [`ConcurrentBankedCache::execute_batch_observed`] (at most one bank
+//! lock per group, optimistic reads still per-op), and all responses go
+//! out in one buffered write + flush. The arena and the connection's
+//! `payload`/`out` buffers are reused across batches, so the clean
+//! GET/SET serve path performs **zero heap allocations per request** —
+//! pinned by the counting-allocator test in `bench/tests` and the
+//! `net_batch.allocs_per_op` bench row.
 
 use super::protocol::{
-    self, BankHealth, HealthReport, ProtocolError, Request, Response, ScrubSnapshot, ServerError,
+    self, BankHealth, HealthReport, ItemOutcome, ProtocolError, Request, RequestFrame, Response,
+    ScrubSnapshot, ServerError,
 };
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use twod_cache::{ConcurrentBankedCache, Scrubber};
+use twod_cache::{BatchOp, BatchOutcome, ConcurrentBankedCache, Scrubber, ScrubberStats};
 
 /// Configuration of a [`CacheServer`].
 #[derive(Clone, Copy, Debug)]
@@ -113,6 +130,11 @@ pub struct ServerStats {
     pub faults: u64,
     /// Requests answered `BAD_REQUEST`.
     pub bad_requests: u64,
+    /// Frame batches executed (each batch = one arena fill, one bank
+    /// grouping pass, one buffered response write).
+    pub batches: u64,
+    /// Keyed items carried inside `GET_MULTI`/`SET_MULTI` frames.
+    pub multi_items: u64,
 }
 
 /// Per-bank admission gate + degraded-mode state, all lock-free.
@@ -142,15 +164,20 @@ impl BankGate {
     }
 }
 
-/// RAII admission slot: decrements the bank's inflight count on drop, so
-/// a panicking or erroring handler can never leak capacity.
-struct AdmitGuard<'a> {
-    gate: &'a BankGate,
+/// RAII bulk-admission release: returns every bank group's reserved
+/// slots on drop, so a panicking or erroring handler can never leak
+/// bank capacity — the batch-era equivalent of a per-op admit guard.
+struct AdmitRelease<'a> {
+    gates: &'a [BankGate],
+    admitted: &'a mut Vec<(usize, u32)>,
 }
 
-impl Drop for AdmitGuard<'_> {
+impl Drop for AdmitRelease<'_> {
     fn drop(&mut self) {
-        self.gate.inflight.fetch_sub(1, Ordering::Release);
+        for &(bank, n) in self.admitted.iter() {
+            self.gates[bank].inflight.fetch_sub(n, Ordering::Release);
+        }
+        self.admitted.clear();
     }
 }
 
@@ -177,6 +204,8 @@ struct StatCells {
     degraded_sheds: AtomicU64,
     faults: AtomicU64,
     bad_requests: AtomicU64,
+    batches: AtomicU64,
+    multi_items: AtomicU64,
 }
 
 impl Shared {
@@ -233,9 +262,13 @@ impl Shared {
                 }
             })
             .collect();
+        let scrubber = self.scrubber.as_ref().map(|s| s.stats());
         HealthReport {
             banks,
-            scrubber: self.scrubber.as_ref().map(|s| s.stats()),
+            clean_scan_gbps: scrubber
+                .as_ref()
+                .map_or(0.0, ScrubberStats::clean_scan_gbps),
+            scrubber,
         }
     }
 
@@ -351,6 +384,8 @@ impl CacheServer {
             degraded_sheds: s.degraded_sheds.load(Ordering::Relaxed),
             faults: s.faults.load(Ordering::Relaxed),
             bad_requests: s.bad_requests.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            multi_items: s.multi_items.load(Ordering::Relaxed),
         }
     }
 
@@ -358,6 +393,86 @@ impl CacheServer {
     /// in-process without a socket.
     pub fn health(&self) -> HealthReport {
         self.shared.health_report()
+    }
+
+    /// Number of handler threads currently tracked by the accept loop.
+    /// Finished handlers are reaped on every accept, so this stays
+    /// bounded by the number of *live* connections (plus at most the
+    /// finished-but-not-yet-reaped stragglers since the last accept) —
+    /// it does not grow with the total connections ever served.
+    pub fn tracked_handler_threads(&self) -> usize {
+        self.handlers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+
+    /// Deterministic in-process batch harness: decodes every
+    /// length-prefixed frame in `frames`, executes them as one batch
+    /// (exactly the path a pipelined connection takes after the greedy
+    /// drain), and appends all responses to `out`. Returns the number
+    /// of frames served.
+    ///
+    /// Benches and counting-allocator tests drive this to pin the
+    /// batched serve path's lock and allocation behavior without a
+    /// socket (and therefore without kernel buffering nondeterminism).
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`ProtocolError`] on a malformed frame, after
+    /// serving everything decoded before it — mirroring the connection
+    /// handler's close-on-fatal behavior.
+    pub fn execute_frames(
+        &self,
+        frames: &[u8],
+        out: &mut Vec<u8>,
+        arena: &mut BatchArena,
+    ) -> Result<usize, ServerError> {
+        arena.clear();
+        let mut rest = frames;
+        let mut fatal: Option<ProtocolError> = None;
+        while !rest.is_empty() {
+            if rest.len() < 4 {
+                fatal = Some(ProtocolError::Truncated {
+                    need: 4,
+                    got: rest.len(),
+                });
+                break;
+            }
+            let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            if len > protocol::MAX_FRAME_BYTES {
+                fatal = Some(ProtocolError::Oversized { len });
+                break;
+            }
+            if len == 0 {
+                fatal = Some(ProtocolError::Empty);
+                break;
+            }
+            if rest.len() < 4 + len {
+                fatal = Some(ProtocolError::Truncated {
+                    need: len,
+                    got: rest.len() - 4,
+                });
+                break;
+            }
+            if let Err(f) = decode_frame_into(&self.shared, &rest[4..4 + len], arena) {
+                fatal = Some(f.err);
+                break;
+            }
+            rest = &rest[4 + len..];
+        }
+        let served = arena.frames.len();
+        execute_arena(&self.shared, arena, out);
+        match fatal {
+            Some(err) => {
+                self.shared
+                    .stats
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(ServerError::Protocol(err))
+            }
+            None => Ok(served),
+        }
     }
 
     /// Administratively quarantines (or lifts quarantine from) one bank:
@@ -516,12 +631,19 @@ fn monitor_loop(shared: &Arc<Shared>) {
                 shared.mark_degraded(bank);
             }
         }
-        std::thread::sleep(shared.cfg.monitor_interval);
+        // Sleep in short slices so shutdown never has to wait out a
+        // long monitor cadence (benches park the monitor for hours).
+        let mut remaining = shared.cfg.monitor_interval;
+        while !remaining.is_zero() && !shared.stop.load(Ordering::SeqCst) {
+            let slice = remaining.min(Duration::from_millis(20));
+            std::thread::sleep(slice);
+            remaining -= slice;
+        }
     }
 }
 
-/// Per-connection handler: frame loop with deadlines, pipelined
-/// processing, and typed-error close paths.
+/// Per-connection handler: frame loop with deadlines, greedy batch
+/// draining, and typed-error close paths.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     // Socket deadlines: every blocking read/write call is bounded, so a
     // dead peer cannot wedge this thread past its timeout.
@@ -547,6 +669,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let mut writer = BufWriter::new(stream);
     let mut payload: Vec<u8> = Vec::new();
     let mut out: Vec<u8> = Vec::new();
+    let mut arena = BatchArena::new();
     let mut last_activity = Instant::now();
     let close_reason = loop {
         // Drain contract: once shutdown begins we stop reading new
@@ -558,11 +681,42 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(protocol::FrameRead::Frame) => {
                 last_activity = Instant::now();
                 out.clear();
-                let ok = process_payload(shared, &payload, &mut out);
-                if !ok {
-                    // Undecodable frame: best-effort close. `out` may
-                    // hold a BAD_REQUEST if the id was parseable.
+                arena.clear();
+                let mut fatal = decode_frame_into(shared, &payload, &mut arena).err();
+                // Greedy drain: every complete frame already buffered
+                // joins this batch, so decode, bank grouping, and the
+                // flush below are paid once per pipelined burst instead
+                // of once per request. The drain never blocks — it only
+                // consumes bytes the kernel already delivered.
+                while fatal.is_none() {
+                    match buffered_frame_len(&reader) {
+                        Ok(Some(len)) => {
+                            let result =
+                                decode_frame_into(shared, &reader.buffer()[4..4 + len], &mut arena);
+                            reader.consume(4 + len);
+                            fatal = result.err();
+                        }
+                        Ok(None) => break,
+                        Err(err) => {
+                            fatal = Some(FatalDecode {
+                                err,
+                                bad_request_id: None,
+                            });
+                        }
+                    }
+                }
+                // Everything decoded before the failure still gets
+                // served — answers the peer already earned are not
+                // dropped on the floor.
+                execute_arena(shared, &mut arena, &mut out);
+                if let Some(fatal) = fatal {
+                    // Undecodable frame: best-effort BAD_REQUEST when
+                    // the id was parseable, then close (the framing
+                    // after an undecodable body cannot be trusted).
                     shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    if let Some(id) = fatal.bad_request_id {
+                        protocol::encode_response(id, &Response::BadRequest, &mut out);
+                    }
                     let _ = writer.write_all(&out);
                     let _ = writer.flush();
                     break CloseReason::Protocol;
@@ -570,10 +724,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 if protocol::write_all(&mut writer, &out).is_err() {
                     break CloseReason::WriteFailed;
                 }
-                // Pipelining: if more request bytes are already
-                // buffered, keep processing before paying a flush —
-                // responses batch up naturally. Flush before the next
-                // blocking read so the client always sees its answers.
+                // Flush before the next blocking read so the client
+                // always sees its answers; skip it while more request
+                // bytes are already buffered (responses keep batching).
                 if reader.buffer().is_empty() && writer.flush().is_err() {
                     break CloseReason::WriteFailed;
                 }
@@ -612,153 +765,415 @@ enum CloseReason {
     Drained,
 }
 
-/// Decodes and executes one request payload, appending the encoded
-/// response to `out`. Returns `false` when the payload was undecodable
-/// (the connection should close); a decodable-but-invalid request gets
-/// a `BAD_REQUEST` response and keeps the connection.
-fn process_payload(shared: &Shared, payload: &[u8], out: &mut Vec<u8>) -> bool {
-    let (id, req) = match protocol::decode_request(payload) {
-        Ok(v) => v,
-        Err(ProtocolError::UnknownOpcode(_)) => {
+/// Length of the next *complete* frame sitting in the reader's buffer,
+/// `None` when the buffer holds no (or only a partial) frame — a
+/// partial stays for the next blocking [`protocol::read_frame`], which
+/// drains buffered bytes first. Length-prefix validation mirrors
+/// `read_frame` so a hostile length is rejected identically on both
+/// paths.
+fn buffered_frame_len(reader: &BufReader<TcpStream>) -> Result<Option<usize>, ProtocolError> {
+    let buf = reader.buffer();
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > protocol::MAX_FRAME_BYTES {
+        return Err(ProtocolError::Oversized { len });
+    }
+    if len == 0 {
+        return Err(ProtocolError::Empty);
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some(len))
+}
+
+/// Reusable decode/execute arena of one connection's frame batch. All
+/// buffers retain capacity across batches, so once a connection's
+/// traffic shape has been seen, the clean GET/SET serve path performs
+/// zero heap allocations per request (counting-allocator pinned).
+///
+/// Obtainable by external drivers (benches, deterministic tests) for
+/// use with [`CacheServer::execute_frames`]; the fields stay private —
+/// the arena is a buffer, not an API.
+#[derive(Debug, Default)]
+pub struct BatchArena {
+    /// Decoded frames in arrival order (responses are emitted in this
+    /// order — batching never reorders answers).
+    frames: Vec<FrameEntry>,
+    /// Flattened keyed ops across all frames of the batch.
+    ops: Vec<ArenaOp>,
+    /// Admitted ops in batch order, the input to the cache's batch
+    /// executor.
+    core_ops: Vec<BatchOp>,
+    /// Batch executor results, index-matched to `core_ops`.
+    outcomes: Vec<BatchOutcome>,
+    /// Per-bank pending-op counts of the current batch.
+    bank_pending: Vec<u32>,
+    /// Bulk admission grants `(bank, slots)`, released by RAII.
+    admitted: Vec<(usize, u32)>,
+}
+
+impl BatchArena {
+    /// Creates an empty arena; buffers grow on first use and are
+    /// retained for reuse.
+    pub fn new() -> Self {
+        BatchArena::default()
+    }
+
+    fn clear(&mut self) {
+        self.frames.clear();
+        self.ops.clear();
+        self.core_ops.clear();
+    }
+
+    fn push_op(&mut self, shared: &Shared, write: bool, key: u64, value: u64) -> usize {
+        let idx = self.ops.len();
+        if key > protocol::MAX_KEY {
+            self.ops.push(ArenaOp {
+                write,
+                addr: 0,
+                value,
+                bank: 0,
+                disposition: Disposition::BadKey,
+            });
+        } else {
+            let addr = protocol::route_key(key);
+            self.ops.push(ArenaOp {
+                write,
+                addr,
+                value,
+                bank: shared.cache.bank_of(addr),
+                disposition: Disposition::Pending,
+            });
+        }
+        idx
+    }
+}
+
+/// One frame of a batch, pointing at its ops in the flattened arena.
+#[derive(Clone, Copy, Debug)]
+enum FrameEntry {
+    /// Single keyed op (`GET`/`SET`): `op` indexes [`BatchArena::ops`].
+    Single { id: u32, op: usize },
+    /// Multi frame: `ops[start..start + len]`.
+    Multi { id: u32, start: usize, len: usize },
+    /// `HEALTH` introspection (answered at encode time).
+    Health { id: u32 },
+    /// `SCRUB_STATS` introspection.
+    ScrubStats { id: u32 },
+}
+
+/// One keyed op of a batch and what happened to it.
+#[derive(Clone, Copy, Debug)]
+struct ArenaOp {
+    write: bool,
+    addr: u64,
+    value: u64,
+    bank: usize,
+    disposition: Disposition,
+}
+
+/// Where an op stands in the admission/execution pipeline.
+#[derive(Clone, Copy, Debug)]
+enum Disposition {
+    /// Decoded, awaiting admission.
+    Pending,
+    /// Key above [`protocol::MAX_KEY`]: per-item `BAD_REQUEST`.
+    BadKey,
+    /// Shed on admission pressure with this hint.
+    Busy { hint: u32 },
+    /// Shed because the bank is degraded/quarantined.
+    Degraded { hint: u32 },
+    /// Admitted: outcome at this [`BatchArena::outcomes`] index.
+    Exec(usize),
+}
+
+/// A frame that cannot be decoded: the typed error plus the echoed id
+/// when the fixed header was still parseable (for the best-effort
+/// `BAD_REQUEST` before closing).
+#[derive(Debug)]
+struct FatalDecode {
+    err: ProtocolError,
+    bad_request_id: Option<u32>,
+}
+
+/// Decodes one frame payload into the arena. Key validation happens
+/// here (before any address arithmetic); admission and execution are
+/// deferred to [`execute_arena`] so they can run bank-grouped.
+fn decode_frame_into(
+    shared: &Shared,
+    payload: &[u8],
+    arena: &mut BatchArena,
+) -> Result<(), FatalDecode> {
+    match protocol::decode_request_frame(payload) {
+        Ok((id, RequestFrame::Single(req))) => {
+            match req {
+                Request::Get { key } => {
+                    let op = arena.push_op(shared, false, key, 0);
+                    arena.frames.push(FrameEntry::Single { id, op });
+                }
+                Request::Set { key, value } => {
+                    let op = arena.push_op(shared, true, key, value);
+                    arena.frames.push(FrameEntry::Single { id, op });
+                }
+                Request::Health => arena.frames.push(FrameEntry::Health { id }),
+                Request::ScrubStats => arena.frames.push(FrameEntry::ScrubStats { id }),
+            }
+            Ok(())
+        }
+        Ok((id, RequestFrame::GetMulti(keys))) => {
+            let start = arena.ops.len();
+            for key in keys {
+                arena.push_op(shared, false, key, 0);
+            }
+            let len = arena.ops.len() - start;
+            arena.frames.push(FrameEntry::Multi { id, start, len });
+            shared
+                .stats
+                .multi_items
+                .fetch_add(len as u64, Ordering::Relaxed);
+            Ok(())
+        }
+        Ok((id, RequestFrame::SetMulti(pairs))) => {
+            let start = arena.ops.len();
+            for (key, value) in pairs {
+                arena.push_op(shared, true, key, value);
+            }
+            let len = arena.ops.len() - start;
+            arena.frames.push(FrameEntry::Multi { id, start, len });
+            shared
+                .stats
+                .multi_items
+                .fetch_add(len as u64, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(err) => {
             // The id field sits at a fixed offset even for unknown
-            // opcodes; answer BAD_REQUEST so a confused-but-framed
-            // client learns something, then drop the connection (we
-            // cannot trust the framing that follows an unknown body).
-            if payload.len() >= 5 {
-                let id = u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]);
-                protocol::encode_response(id, &Response::BadRequest, out);
+            // opcodes, so a confused-but-framed client can still learn
+            // something before the close.
+            let bad_request_id = match err {
+                ProtocolError::UnknownOpcode(_) if payload.len() >= 5 => {
+                    Some(u32::from_le_bytes([
+                        payload[1], payload[2], payload[3], payload[4],
+                    ]))
+                }
+                _ => None,
+            };
+            Err(FatalDecode {
+                err,
+                bad_request_id,
+            })
+        }
+    }
+}
+
+/// Executes one decoded batch: bank-grouped admission, a single
+/// batch-executor pass over the cache (at most one lock per bank
+/// group), then responses encoded in frame arrival order. This is the
+/// only place network input meets the storage engine, and it is
+/// panic-free on any input: keys were validated at decode, admission
+/// runs before any lock is touched, and the engine's typed
+/// [`EngineError`](memarray::EngineError) maps to `FAULT` items.
+fn execute_arena(shared: &Shared, arena: &mut BatchArena, out: &mut Vec<u8>) {
+    if arena.frames.is_empty() {
+        return;
+    }
+    // Admission, one bank group at a time: degraded/quarantine checked
+    // once per bank per batch, slots reserved in bulk. Ops beyond the
+    // granted slots shed BUSY individually — the *first* `granted` ops
+    // of the group (batch order) execute, so a shed never reorders
+    // answers relative to an executed op of the same frame.
+    let banks = shared.gates.len();
+    arena.bank_pending.clear();
+    arena.bank_pending.resize(banks, 0);
+    for op in &arena.ops {
+        if matches!(op.disposition, Disposition::Pending) {
+            arena.bank_pending[op.bank] += 1;
+        }
+    }
+    arena.admitted.clear();
+    for bank in 0..banks {
+        let want = arena.bank_pending[bank];
+        if want == 0 {
+            continue;
+        }
+        let gate = &shared.gates[bank];
+        if let Some(hint) = shared.shed_hint_ms(bank) {
+            gate.shed.fetch_add(u64::from(want), Ordering::Relaxed);
+            for op in arena.ops.iter_mut() {
+                if op.bank == bank && matches!(op.disposition, Disposition::Pending) {
+                    op.disposition = Disposition::Degraded { hint };
+                }
             }
-            return false;
+            continue;
         }
-        Err(_) => return false,
-    };
-    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-    let resp = execute(shared, &req);
-    match &resp {
-        Response::Busy { .. } => {
-            shared.stats.busy_sheds.fetch_add(1, Ordering::Relaxed);
+        let granted = reserve_slots(gate, shared.cfg.max_inflight_per_bank, want);
+        if granted > 0 {
+            arena.admitted.push((bank, granted));
         }
-        Response::Degraded { .. } => {
-            shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
+        if granted < want {
+            gate.shed
+                .fetch_add(u64::from(want - granted), Ordering::Relaxed);
         }
-        Response::Fault => {
-            shared.stats.faults.fetch_add(1, Ordering::Relaxed);
+        let hint = busy_hint_ms(shared);
+        let mut left = granted;
+        for op in arena.ops.iter_mut() {
+            if op.bank != bank || !matches!(op.disposition, Disposition::Pending) {
+                continue;
+            }
+            if left > 0 {
+                left -= 1;
+                let j = arena.core_ops.len();
+                arena.core_ops.push(if op.write {
+                    BatchOp::Write(op.addr, op.value)
+                } else {
+                    BatchOp::Read(op.addr)
+                });
+                op.disposition = Disposition::Exec(j);
+            } else {
+                op.disposition = Disposition::Busy { hint };
+            }
         }
-        Response::BadRequest => {
+    }
+    // Execute the whole admitted batch; the RAII release returns every
+    // reserved slot even if the engine panics. The observer hook is the
+    // batch-era slow-op detector: a bank group whose guard was held
+    // past the threshold ran an inline recovery, so the bank degrades.
+    {
+        let BatchArena {
+            core_ops,
+            outcomes,
+            admitted,
+            ..
+        } = &mut *arena;
+        let _release = AdmitRelease {
+            gates: &shared.gates,
+            admitted,
+        };
+        shared
+            .cache
+            .execute_batch_observed(core_ops, outcomes, |bank, held| {
+                if held >= shared.cfg.slow_op_threshold {
+                    shared.mark_degraded(bank);
+                }
+            });
+    }
+    // Uncorrectable damage observed by the batch opens the owning
+    // bank's degraded window, exactly like the scalar path did.
+    for op in &arena.ops {
+        if let Disposition::Exec(j) = op.disposition {
+            if matches!(arena.outcomes[j], BatchOutcome::Failed(_)) {
+                shared.mark_degraded(op.bank);
+            }
+        }
+    }
+    // Emit responses in frame arrival order.
+    for frame in &arena.frames {
+        match *frame {
+            FrameEntry::Single { id, op } => {
+                let resp = match op_item(shared, &arena.ops[op], &arena.outcomes) {
+                    ItemOutcome::Value(v) => Response::Value(v),
+                    ItemOutcome::Ok => Response::Ok,
+                    ItemOutcome::Busy { retry_after_ms } => Response::Busy { retry_after_ms },
+                    ItemOutcome::Degraded { retry_after_ms } => {
+                        Response::Degraded { retry_after_ms }
+                    }
+                    ItemOutcome::Fault => Response::Fault,
+                    ItemOutcome::BadRequest => Response::BadRequest,
+                };
+                protocol::encode_response(id, &resp, out);
+            }
+            FrameEntry::Multi { id, start, len } => {
+                let mut multi = protocol::begin_multi_response(id, len, out);
+                for op in &arena.ops[start..start + len] {
+                    multi.push(op_item(shared, op, &arena.outcomes));
+                }
+                multi.finish();
+            }
+            FrameEntry::Health { id } => {
+                protocol::encode_response(id, &Response::Health(shared.health_report()), out);
+            }
+            FrameEntry::ScrubStats { id } => {
+                protocol::encode_response(id, &Response::ScrubStats(shared.scrub_snapshot()), out);
+            }
+        }
+    }
+    shared
+        .stats
+        .requests
+        .fetch_add(arena.frames.len() as u64, Ordering::Relaxed);
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Maps one executed/shed op to its wire item outcome, bumping the
+/// aggregate stat counters (per item, matching the scalar-era
+/// per-request tallies).
+fn op_item(shared: &Shared, op: &ArenaOp, outcomes: &[BatchOutcome]) -> ItemOutcome {
+    match op.disposition {
+        Disposition::BadKey => {
             shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            ItemOutcome::BadRequest
         }
-        _ => {}
-    }
-    protocol::encode_response(id, &resp, out);
-    true
-}
-
-/// Executes one decoded request against the cache. This is the only
-/// place network input meets the storage engine, and it is panic-free:
-/// key validation happens before any address arithmetic, admission and
-/// degradation are checked before any lock is touched, and the engine's
-/// typed [`EngineError`](memarray::EngineError) maps to `FAULT`.
-fn execute(shared: &Shared, req: &Request) -> Response {
-    match *req {
-        Request::Health => Response::Health(shared.health_report()),
-        Request::ScrubStats => Response::ScrubStats(shared.scrub_snapshot()),
-        Request::Get { key } => match admit(shared, key) {
-            Admission::Go { addr, bank, guard } => {
-                let begun = Instant::now();
-                let result = shared.cache.read(addr);
-                observe_op(shared, bank, begun);
-                drop(guard);
-                match result {
-                    Ok(v) => Response::Value(v),
-                    Err(_) => {
-                        shared.mark_degraded(bank);
-                        Response::Fault
-                    }
-                }
+        Disposition::Busy { hint } => {
+            shared.stats.busy_sheds.fetch_add(1, Ordering::Relaxed);
+            ItemOutcome::Busy {
+                retry_after_ms: hint,
             }
-            Admission::Shed(resp) => resp,
-        },
-        Request::Set { key, value } => match admit(shared, key) {
-            Admission::Go { addr, bank, guard } => {
-                let begun = Instant::now();
-                let result = shared.cache.write(addr, value);
-                observe_op(shared, bank, begun);
-                drop(guard);
-                match result {
-                    Ok(()) => Response::Ok,
-                    Err(_) => {
-                        shared.mark_degraded(bank);
-                        Response::Fault
-                    }
-                }
+        }
+        Disposition::Degraded { hint } => {
+            shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
+            ItemOutcome::Degraded {
+                retry_after_ms: hint,
             }
-            Admission::Shed(resp) => resp,
+        }
+        Disposition::Exec(j) => match outcomes[j] {
+            BatchOutcome::Value(v) => ItemOutcome::Value(v),
+            BatchOutcome::Written => ItemOutcome::Ok,
+            BatchOutcome::Failed(_) => {
+                shared.stats.faults.fetch_add(1, Ordering::Relaxed);
+                ItemOutcome::Fault
+            }
         },
+        Disposition::Pending => {
+            // Admission visits every bank, so a pending op past it is a
+            // logic bug — but network-facing code sheds rather than
+            // panics even on its own bugs.
+            debug_assert!(false, "op left pending past admission");
+            ItemOutcome::Busy {
+                retry_after_ms: busy_hint_ms(shared),
+            }
+        }
     }
 }
 
-/// Outcome of the admission pipeline for one keyed request.
-enum Admission<'a> {
-    /// Admitted: execute against `addr` on `bank`, holding the slot.
-    Go {
-        addr: u64,
-        bank: usize,
-        guard: AdmitGuard<'a>,
-    },
-    /// Shed with this response (BUSY / DEGRADED / BAD_REQUEST).
-    Shed(Response),
-}
-
-/// Validates the key, routes it, and runs the degraded + admission
-/// checks — in that order, so a degraded bank sheds before consuming an
-/// admission slot.
-fn admit(shared: &Shared, key: u64) -> Admission<'_> {
-    if key > protocol::MAX_KEY {
-        return Admission::Shed(Response::BadRequest);
-    }
-    let addr = protocol::route_key(key);
-    let bank = shared.cache.bank_of(addr);
-    let gate = &shared.gates[bank];
-    if let Some(retry_after_ms) = shared.shed_hint_ms(bank) {
-        gate.shed.fetch_add(1, Ordering::Relaxed);
-        return Admission::Shed(Response::Degraded { retry_after_ms });
-    }
-    // Bounded admission: CAS-increment under the limit, BUSY beyond it.
-    let limit = shared.cfg.max_inflight_per_bank;
+/// Reserves up to `want` admission slots on one bank gate (CAS loop
+/// against the limit); returns how many were granted.
+fn reserve_slots(gate: &BankGate, limit: u32, want: u32) -> u32 {
     let mut current = gate.inflight.load(Ordering::Relaxed);
     loop {
         if current >= limit {
-            gate.shed.fetch_add(1, Ordering::Relaxed);
-            let retry_after_ms = shared
-                .cfg
-                .retry_after
-                .as_millis()
-                .clamp(1, u32::MAX as u128) as u32;
-            return Admission::Shed(Response::Busy { retry_after_ms });
+            return 0;
         }
+        let granted = want.min(limit - current);
         match gate.inflight.compare_exchange_weak(
             current,
-            current + 1,
+            current + granted,
             Ordering::Acquire,
             Ordering::Relaxed,
         ) {
-            Ok(_) => {
-                return Admission::Go {
-                    addr,
-                    bank,
-                    guard: AdmitGuard { gate },
-                }
-            }
+            Ok(_) => return granted,
             Err(actual) => current = actual,
         }
     }
 }
 
-/// Post-operation hook: an operation slow enough to have run an inline
-/// recovery opens the bank's degraded window, so the *next* requests
-/// shed instead of convoying behind further recovery work.
-fn observe_op(shared: &Shared, bank: usize, begun: Instant) {
-    if begun.elapsed() >= shared.cfg.slow_op_threshold {
-        shared.mark_degraded(bank);
-    }
+/// The configured BUSY retry-after hint in milliseconds (≥ 1).
+fn busy_hint_ms(shared: &Shared) -> u32 {
+    shared
+        .cfg
+        .retry_after
+        .as_millis()
+        .clamp(1, u32::MAX as u128) as u32
 }

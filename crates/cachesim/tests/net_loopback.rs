@@ -7,7 +7,8 @@
 
 use cachesim::net::protocol::{self, status, MAX_KEY};
 use cachesim::net::{
-    CacheServer, FrameRead, NetClient, Request, Response, ServerConfig, ServerError,
+    CacheServer, FrameRead, ItemOutcome, NetClient, Request, Response, ServerConfig, ServerError,
+    ShardOutcome, ShardedClient,
 };
 use std::io::Write;
 use std::net::TcpStream;
@@ -222,6 +223,197 @@ fn pipelined_batch_answers_in_order() {
     }
 
     server.shutdown();
+}
+
+#[test]
+fn multi_frames_round_trip_over_the_wire() {
+    let (server, _cache) = spawn_server();
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let items: Vec<(u64, u64)> = (0..40u64).map(|i| (7000 + i * 13, i * i + 1)).collect();
+    let mut out = Vec::new();
+    client.set_multi(&items, &mut out).expect("set_multi");
+    assert_eq!(out.len(), items.len());
+    assert!(out.iter().all(|o| *o == ItemOutcome::Ok));
+
+    let keys: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
+    client.get_multi(&keys, &mut out).expect("get_multi");
+    assert_eq!(out.len(), keys.len());
+    for (i, (o, &(_, v))) in out.iter().zip(&items).enumerate() {
+        assert_eq!(*o, ItemOutcome::Value(v), "item #{i}");
+    }
+
+    // A bad key among good ones fails per-item, not per-frame: its
+    // neighbors still serve.
+    let mixed = [items[0].0, MAX_KEY + 1, items[1].0];
+    client.get_multi(&mixed, &mut out).expect("mixed get_multi");
+    assert_eq!(out[0], ItemOutcome::Value(items[0].1));
+    assert_eq!(out[1], ItemOutcome::BadRequest);
+    assert_eq!(out[2], ItemOutcome::Value(items[1].1));
+
+    assert!(server.stats().multi_items >= (items.len() * 2 + 3) as u64);
+    server.shutdown();
+}
+
+#[test]
+fn busy_shedding_retries_resolve_in_order() {
+    // One admission slot per bank: a pipelined batch into a single bank
+    // gets exactly one grant per round, the rest shed BUSY with a hint.
+    let config = CacheConfig {
+        sets: 16,
+        ways: 2,
+        data_scheme: TwoDScheme::l1_paper(),
+        tag_scheme: TwoDScheme {
+            data_bits: 50,
+            ..TwoDScheme::l1_paper()
+        },
+    };
+    let cache = Arc::new(ConcurrentBankedCache::new(config, BANKS));
+    let server = CacheServer::spawn(
+        Arc::clone(&cache),
+        None,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_inflight_per_bank: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let keys: Vec<u64> = (1..10_000)
+        .filter(|&k| cache.bank_of(protocol::route_key(k)) == 0)
+        .take(8)
+        .collect();
+    let reqs: Vec<Request> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| Request::Set {
+            key: k,
+            value: 1000 + i as u64,
+        })
+        .collect();
+
+    // One raw round: bulk admission grants one slot, the other seven
+    // shed BUSY with an actionable hint.
+    let first = client.pipeline(&reqs).expect("pipelined batch");
+    assert_eq!(
+        first
+            .iter()
+            .filter(|r| matches!(r, Response::Busy { retry_after_ms } if *retry_after_ms > 0))
+            .count(),
+        7,
+        "single-slot bank must shed all but one of the batch: {first:?}",
+    );
+
+    // Retried: every slot resolves to its own request's answer,
+    // position-matched — per-request retries must never reorder or
+    // cross-wire responses.
+    let resolved = client.pipeline_retry(&reqs, 16).expect("retried batch");
+    assert_eq!(resolved.len(), reqs.len());
+    for (i, r) in resolved.iter().enumerate() {
+        assert_eq!(*r, Response::Ok, "slot {i} did not resolve: {resolved:?}");
+    }
+    for (i, &k) in keys.iter().enumerate() {
+        assert_eq!(
+            client.get(k).expect("readback"),
+            1000 + i as u64,
+            "key {k} holds another slot's value — retry cross-wired responses",
+        );
+    }
+
+    assert!(server.stats().busy_sheds >= 7);
+    server.shutdown();
+}
+
+#[test]
+fn handler_threads_are_reaped_not_accumulated() {
+    let (server, _cache) = spawn_server();
+
+    // 60 short-lived sequential connections: each accept reaps finished
+    // handlers, so the tracked set must stay bounded by live
+    // connections (plus a small close-detection lag), not grow with
+    // connection history.
+    for i in 0..60u64 {
+        let mut client = NetClient::connect(server.local_addr()).expect("connect");
+        client.set(i, i + 1).expect("set");
+        drop(client);
+        // Brief pause so the handler observes the close before the next
+        // accept's reap pass — keeps the bound tight and deterministic.
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let tracked = server.tracked_handler_threads();
+    assert!(
+        tracked <= 4,
+        "handler handles accumulated: {tracked} tracked after 60 closed connections",
+    );
+    server.shutdown();
+}
+
+#[test]
+fn sharded_client_survives_shard_kill_and_restart() {
+    let (server_a, _cache_a) = spawn_server();
+    let (server_b, cache_b) = spawn_server();
+    let addrs = vec![server_a.local_addr(), server_b.local_addr()];
+    let mut client = ShardedClient::new(&addrs);
+
+    // Seed both shards through the rendezvous split and remember who
+    // owns what.
+    let keys: Vec<u64> = (0..48u64).map(|i| i * 613 + 7).collect();
+    let reqs: Vec<Request> = keys
+        .iter()
+        .map(|&k| Request::Set { key: k, value: !k })
+        .collect();
+    let mut out = Vec::new();
+    client.pipeline(&reqs, &mut out);
+    assert!(out
+        .iter()
+        .all(|o| *o == ShardOutcome::Response(Response::Ok)));
+    let shard_b_keys: Vec<u64> = keys
+        .iter()
+        .copied()
+        .filter(|&k| client.shard_of(k) == 1)
+        .collect();
+    assert!(
+        !shard_b_keys.is_empty() && shard_b_keys.len() < keys.len(),
+        "rendezvous should split 48 keys across both shards",
+    );
+
+    // Kill shard B. Reads of its keys report ShardDown; shard A keys
+    // keep serving their values — the fleet degrades, never stalls.
+    server_b.shutdown();
+    let gets: Vec<Request> = keys.iter().map(|&k| Request::Get { key: k }).collect();
+    client.pipeline(&gets, &mut out);
+    for (i, (&k, o)) in keys.iter().zip(&out).enumerate() {
+        if client.shard_of(k) == 1 {
+            assert_eq!(*o, ShardOutcome::ShardDown, "slot {i}");
+        } else {
+            assert_eq!(*o, ShardOutcome::Response(Response::Value(!k)), "slot {i}");
+        }
+    }
+
+    // Restart shard B on a fresh port over the SAME cache (state
+    // survives the process respawn), repoint the client, and every key
+    // serves again — including shard B's pre-kill acked writes.
+    let server_b2 = CacheServer::spawn(
+        Arc::clone(&cache_b),
+        None,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("respawn shard B");
+    client.set_shard_addr(1, server_b2.local_addr());
+    client.pipeline(&gets, &mut out);
+    for (i, (&k, o)) in keys.iter().zip(&out).enumerate() {
+        assert_eq!(
+            *o,
+            ShardOutcome::Response(Response::Value(!k)),
+            "slot {i} after restart",
+        );
+    }
+
+    server_a.shutdown();
+    server_b2.shutdown();
 }
 
 #[test]

@@ -54,6 +54,6 @@ mod scrubber;
 
 pub use banked::BankedProtectedCache;
 pub use cache::{CacheConfig, CacheStats, ProtectedCache, LINE_BYTES};
-pub use concurrent::{BankGuard, ConcurrentBankedCache};
+pub use concurrent::{BankGuard, BatchOp, BatchOutcome, ConcurrentBankedCache};
 pub use scheme::TwoDScheme;
 pub use scrubber::{Scrubber, ScrubberConfig, ScrubberStats};
