@@ -38,6 +38,20 @@ pub struct CoherenceOutcome {
     pub writeback: bool,
 }
 
+impl CoherenceOutcome {
+    /// Packs the outcome into a small integer so a stream of outcomes
+    /// can be folded into an order-sensitive signature (see
+    /// `DetailedStats::coherence_sig`): one bit per flag plus the
+    /// invalidation count in the high bits.
+    pub fn encode(&self) -> u64 {
+        (self.local_hit as u64)
+            | (self.dirty_transfer as u64) << 1
+            | (self.from_l2 as u64) << 2
+            | (self.writeback as u64) << 3
+            | (self.invalidations as u64) << 4
+    }
+}
+
 /// A full-map directory plus per-core line states.
 ///
 /// Capacity-unbounded by design: the protocol invariants are what is

@@ -7,14 +7,18 @@
 //! This mode cross-validates the statistical simulator: both must agree
 //! on the direction and rough magnitude of every protection effect.
 
-use crate::coherence::Directory;
+use crate::coherence::{CoherenceOutcome, Directory};
+use crate::protected::ProtectedStore;
 use crate::trace::{FunctionalCache, StreamModel};
 use crate::{
-    BankedL2, ExtraGrant, L1Ports, L2Access, PortGrant, ProtectionPolicy, SystemConfig,
+    BankedL2, ExtraGrant, L1Ports, L2Access, MshrPool, PortGrant, ProtectionPolicy, SystemConfig,
     WorkloadProfile,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Statistics of one detailed-mode run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -35,6 +39,22 @@ pub struct DetailedStats {
     pub port_stalls: u64,
     /// Aggregate stall cycles spent waiting on misses.
     pub miss_stall_cycles: u64,
+    /// Dirty lines written back into the L2 (evictions + downgrades).
+    pub l2_writebacks: u64,
+    /// Cycles misses spent waiting for a free MSHR.
+    pub mshr_wait_cycles: u64,
+    /// Sum over cycles of in-flight MSHR entries (for the mean).
+    pub mshr_occupancy_sum: u64,
+    /// High-water mark of in-flight MSHR entries.
+    pub mshr_peak: u64,
+    /// Extra bank-hold cycles charged by backing-store correction and
+    /// recovery work (zero when the store is absent or fault-free).
+    pub correction_stall_cycles: u64,
+    /// Order-sensitive FNV-1a fold of every coherence outcome — two runs
+    /// with identical coherence traces have identical signatures, which
+    /// is how the clean-equivalence suite pins "protection is invisible
+    /// when no faults are present".
+    pub coherence_sig: u64,
 }
 
 impl DetailedStats {
@@ -47,6 +67,15 @@ impl DetailedStats {
         }
     }
 
+    /// Cycles per reference (IPC proxy for the bench rows).
+    pub fn cycles_per_ref(&self) -> f64 {
+        if self.references == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.references as f64
+        }
+    }
+
     /// Measured L1 miss ratio.
     pub fn miss_ratio(&self) -> f64 {
         let total = self.l1_hits + self.l1_misses;
@@ -54,6 +83,26 @@ impl DetailedStats {
             0.0
         } else {
             self.l1_misses as f64 / total as f64
+        }
+    }
+
+    /// Mean MSHR occupancy over the run.
+    pub fn mshr_occupancy_mean(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.mshr_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of miss-stall cycles attributable to correction and
+    /// recovery back-pressure.
+    pub fn correction_stall_fraction(&self) -> f64 {
+        let denom = self.miss_stall_cycles + self.correction_stall_cycles;
+        if denom == 0 {
+            0.0
+        } else {
+            self.correction_stall_cycles as f64 / denom as f64
         }
     }
 }
@@ -74,6 +123,13 @@ pub struct DetailedSim {
     port_debt: Vec<u32>,
     directory: Directory,
     l2: BankedL2,
+    mshrs: MshrPool,
+    /// Optional coded backing store behind the L2 banks.
+    store: Option<ProtectedStore>,
+    /// Absolute cycle count across incremental windows.
+    clock: u64,
+    /// Whether the warm-up prologue has run.
+    warmed: bool,
     rngs: Vec<StdRng>,
     stats: DetailedStats,
     /// Probability a ready core issues a memory reference this cycle:
@@ -110,6 +166,10 @@ impl DetailedSim {
         DetailedSim {
             l2: BankedL2::new(config.l2_banks, config.l2_bank_occupancy, policy.protect_l2),
             directory: Directory::new(),
+            mshrs: MshrPool::new(config.mshrs),
+            store: None,
+            clock: 0,
+            warmed: false,
             streams,
             caches,
             ports,
@@ -123,12 +183,40 @@ impl DetailedSim {
         }
     }
 
+    /// Attaches a coded backing store behind the L2 banks. Store
+    /// operations consume no randomness, so a fault-free stored run is
+    /// bit-identical to a store-less run of the same configuration.
+    pub fn with_store(mut self, store: ProtectedStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached backing store, if any.
+    pub fn store(&self) -> Option<&ProtectedStore> {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the backing store (fault injection between
+    /// windows).
+    pub fn store_mut(&mut self) -> Option<&mut ProtectedStore> {
+        self.store.as_mut()
+    }
+
+    /// Snapshot of the statistics so far.
+    pub fn stats(&self) -> DetailedStats {
+        self.stats
+    }
+
     /// Runs for `cycles` (after a cache-warming prologue) and returns
     /// the statistics.
     pub fn run(mut self, cycles: u64) -> DetailedStats {
-        // Warm the functional caches so cold-start misses do not distort
-        // the measured ratios (the paper measures from warmed
-        // checkpoints).
+        self.run_window(cycles);
+        self.stats
+    }
+
+    /// Warms the functional caches so cold-start misses do not distort
+    /// the measured ratios (the paper measures from warmed checkpoints).
+    fn warm_up(&mut self) {
         for core in 0..self.config.cores {
             let warm = self.streams[core].generate(6_000, self.rngs[core].gen());
             for r in &warm {
@@ -138,7 +226,33 @@ impl DetailedSim {
             self.caches[core].misses = 0;
             self.caches[core].writebacks = 0;
         }
-        for now in 1..=cycles {
+    }
+
+    /// Folds a coherence outcome into the trace signature.
+    fn fold_outcome(&mut self, core: usize, line: u64, outcome: &CoherenceOutcome) {
+        let mut sig = if self.stats.coherence_sig == 0 {
+            FNV_OFFSET
+        } else {
+            self.stats.coherence_sig
+        };
+        for token in [outcome.encode(), line, core as u64] {
+            sig = (sig ^ token).wrapping_mul(FNV_PRIME);
+        }
+        self.stats.coherence_sig = sig;
+    }
+
+    /// Advances the simulation by `cycles` more cycles (warming first on
+    /// the initial call) and leaves the statistics inspectable via
+    /// [`DetailedSim::stats`]. Fault campaigns interleave calls to this
+    /// with injections into the backing store.
+    pub fn run_window(&mut self, cycles: u64) {
+        if !self.warmed {
+            self.warm_up();
+            self.warmed = true;
+        }
+        let end = self.clock + cycles;
+        for now in self.clock + 1..=end {
+            self.stats.mshr_occupancy_sum += self.mshrs.occupancy(now) as u64;
             for core in 0..self.config.cores {
                 let stolen = self.ports[core].begin_cycle();
                 self.stats.extra_2d += stolen as u64;
@@ -188,13 +302,35 @@ impl DetailedSim {
                     }
                 }
                 self.stats.references += 1;
-                let hit = self.caches[core].access(record.addr, record.is_write);
+                let (hit, evicted) =
+                    self.caches[core].access_evicting(record.addr, record.is_write);
                 let line = record.addr / 64;
+                if let Some((evline, _)) = evicted {
+                    // Capacity pressure reaches the directory: a dirty
+                    // victim becomes an L2 writeback, which under a
+                    // protected L2 triggers read-before-write in the
+                    // backing store.
+                    if self.directory.evict(core, evline) {
+                        self.stats.l2_writebacks += 1;
+                        let pen = match self.store.as_mut() {
+                            Some(store) => store.writeback(evline),
+                            None => 0,
+                        };
+                        self.stats.correction_stall_cycles += pen;
+                        let bank = (evline % self.config.l2_banks as u64) as usize;
+                        // Off the critical path: the writeback occupies
+                        // the bank (delaying later fills) but stalls no
+                        // core directly.
+                        self.l2
+                            .access_with_penalty(bank, now, L2Access::Writeback, pen);
+                    }
+                }
                 if hit {
                     self.stats.l1_hits += 1;
                     // Keep directory permissions coherent on write hits.
                     if record.is_write {
-                        self.directory.write(core, line);
+                        let outcome = self.directory.write(core, line);
+                        self.fold_outcome(core, line, &outcome);
                     }
                     continue;
                 }
@@ -204,23 +340,51 @@ impl DetailedSim {
                 } else {
                     self.directory.read(core, line)
                 };
+                self.fold_outcome(core, line, &outcome);
                 let mut latency = self.config.l2_hit_cycles;
                 if outcome.dirty_transfer {
                     self.stats.dirty_transfers += 1;
                     // Peer supplies data over the crossbar: same class of
-                    // latency as an L2 hit, no bank occupancy.
+                    // latency as an L2 hit, no bank occupancy for the
+                    // fill itself.
+                    if outcome.writeback {
+                        // Piranha-style downgrade: the L2 regains a clean
+                        // copy, a write-type access to the home bank.
+                        self.stats.l2_writebacks += 1;
+                        let pen = match self.store.as_mut() {
+                            Some(store) => store.writeback(line),
+                            None => 0,
+                        };
+                        self.stats.correction_stall_cycles += pen;
+                        let bank = (line % self.config.l2_banks as u64) as usize;
+                        self.l2
+                            .access_with_penalty(bank, now, L2Access::Writeback, pen);
+                    }
                 } else {
                     let bank = (line % self.config.l2_banks as u64) as usize;
-                    let (wait, _) = self.l2.access(bank, now, L2Access::FillRead);
-                    latency += wait;
+                    let pen = match self.store.as_mut() {
+                        Some(store) => store.fill_read(line),
+                        None => 0,
+                    };
+                    self.stats.correction_stall_cycles += pen;
+                    let (wait, _) = self
+                        .l2
+                        .access_with_penalty(bank, now, L2Access::FillRead, pen);
+                    // The fill waits out both the queue and the
+                    // correction work: back-pressure becomes stall.
+                    latency += wait + pen;
                 }
+                let mshr_wait = self.mshrs.allocate(now, latency);
+                self.stats.mshr_wait_cycles += mshr_wait;
+                latency += mshr_wait;
                 let stall = ((latency as f64) / self.config.miss_overlap).ceil() as u64;
                 self.ready_at[core] = now + stall;
                 self.stats.miss_stall_cycles += stall;
             }
         }
-        self.stats.cycles = cycles;
-        self.stats
+        self.clock = end;
+        self.stats.cycles = self.clock;
+        self.stats.mshr_peak = self.mshrs.peak() as u64;
     }
 }
 

@@ -68,10 +68,30 @@ impl BankedL2 {
     ///
     /// Panics if `bank >= banks()`.
     pub fn access(&mut self, bank: usize, now: u64, kind: L2Access) -> (u64, u64) {
+        self.access_with_penalty(bank, now, kind, 0)
+    }
+
+    /// Like [`BankedL2::access`], but additionally holds the bank for
+    /// `penalty` extra cycles — the back-pressure hook for correction
+    /// and recovery latency measured by a protected backing store
+    /// (`memarray::TwoDArray::read_word_timed`): while a bank is busy
+    /// correcting, queued requests behind it wait longer, which is how
+    /// correction work becomes measurable MSHR and port pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank >= banks()`.
+    pub fn access_with_penalty(
+        &mut self,
+        bank: usize,
+        now: u64,
+        kind: L2Access,
+        penalty: u64,
+    ) -> (u64, u64) {
         assert!(bank < self.free_at.len(), "bank {bank} out of range");
         let start = self.free_at[bank].max(now);
         let wait = start - now;
-        let mut hold = self.occupancy;
+        let mut hold = self.occupancy + penalty;
         let mut extra = 0;
         if self.protected && kind.is_write() {
             // Read-before-write: the bank is additionally held for the

@@ -17,7 +17,11 @@
 //! * [`Simulation`] — the cycle loop (L1 ports, store queues, banked L2,
 //!   miss overlap);
 //! * [`figure5`] / [`figure6`] — experiment drivers regenerating the
-//!   paper's performance figures.
+//!   paper's performance figures;
+//! * [`DetailedSim`] / [`ProtectedStore`] — the execution-driven mode:
+//!   functional L1s and a MESI directory over a banked L2 backed by a
+//!   real 2D-coded array, with NE/CE/DUE/SDC fault-domain accounting
+//!   (`run_sim_campaign`; see `docs/SIMULATOR.md`).
 //!
 //! ## Example: cost of full 2D protection on the fat CMP
 //!
@@ -38,9 +42,10 @@
 pub mod coherence;
 mod config;
 pub mod detailed;
-mod l2;
-mod mshr;
-mod port;
+pub mod l2;
+pub mod mshr;
+pub mod port;
+pub mod protected;
 pub mod replication;
 mod runner;
 pub mod service;
@@ -50,9 +55,14 @@ pub mod trace;
 mod workload;
 
 pub use config::{CmpKind, ProtectionPolicy, SystemConfig};
+pub use detailed::{run_detailed, DetailedSim, DetailedStats};
 pub use l2::{BankedL2, L2Access};
 pub use mshr::MshrPool;
 pub use port::{ExtraGrant, L1Ports, PortGrant};
+pub use protected::{
+    classify, run_sim_campaign, EventEvidence, FaultDomain, FaultOutcome, OutcomeTally,
+    ProtectedStore, SchemeReport, SimCampaignConfig, SimCampaignOutcome, StoreScheme,
+};
 pub use runner::{figure5, figure5_average, figure6, Fig5Row, Fig6Row, DEFAULT_CYCLES};
 pub use service::campaign::{
     run_campaign, CampaignConfig, CampaignOutcome, CampaignReport, CampaignTiming, FaultScenario,

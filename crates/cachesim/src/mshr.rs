@@ -9,6 +9,8 @@ pub struct MshrPool {
     /// Retirement times of in-flight misses (unsorted small vec).
     inflight: Vec<u64>,
     capacity: usize,
+    /// High-water mark of simultaneously in-flight entries.
+    peak: usize,
 }
 
 impl MshrPool {
@@ -22,12 +24,18 @@ impl MshrPool {
         MshrPool {
             inflight: Vec::with_capacity(capacity),
             capacity,
+            peak: 0,
         }
     }
 
     /// Number of entries.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// High-water mark of simultaneously in-flight entries seen so far.
+    pub fn peak(&self) -> usize {
+        self.peak
     }
 
     /// Entries currently in flight at time `now`.
@@ -57,6 +65,7 @@ impl MshrPool {
             wait
         };
         self.inflight.push(now + wait + latency);
+        self.peak = self.peak.max(self.inflight.len());
         wait
     }
 }

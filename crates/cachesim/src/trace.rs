@@ -140,6 +140,16 @@ impl FunctionalCache {
 
     /// Accesses `addr`; returns whether it hit. Write-allocate on miss.
     pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        self.access_evicting(addr, is_write).0
+    }
+
+    /// Like [`FunctionalCache::access`], but also reports the victim a
+    /// miss displaced: `Some((line, dirty))` when the fill evicted the
+    /// LRU way. The detailed simulator uses this to keep its coherence
+    /// directory in sync with capacity pressure and to generate the
+    /// L1-to-L2 writeback traffic that exercises read-before-write on a
+    /// protected L2.
+    pub fn access_evicting(&mut self, addr: u64, is_write: bool) -> (bool, Option<(u64, bool)>) {
         let line = addr / self.line_bytes;
         let set = (line % self.sets as u64) as usize;
         let tag = line / self.sets as u64;
@@ -149,17 +159,19 @@ impl FunctionalCache {
             let (t, dirty) = entry.remove(pos);
             entry.insert(0, (t, dirty | is_write));
             self.hits += 1;
-            true
+            (true, None)
         } else {
             self.misses += 1;
+            let mut evicted = None;
             if entry.len() == ways {
-                let (_, dirty) = entry.pop().expect("full set");
+                let (victim_tag, dirty) = entry.pop().expect("full set");
                 if dirty {
                     self.writebacks += 1;
                 }
+                evicted = Some((victim_tag * self.sets as u64 + set as u64, dirty));
             }
             entry.insert(0, (tag, is_write));
-            false
+            (false, evicted)
         }
     }
 }

@@ -8,6 +8,12 @@ use ecc::{Bits, Code, Decoded, DecodedInPlace};
 use std::fmt;
 use std::sync::Arc;
 
+/// Correction latency of an in-line (SECDED-style) single-bit fix, in
+/// array-access cycles: the one extra access that writes the corrected
+/// word back. Returned by the `*_timed` accessors; the clean path costs
+/// zero and a full 2D recovery costs [`RecoveryReport::cycles`].
+pub const INLINE_CORRECT_CYCLES: u64 = 1;
+
 /// Outcome of a word read from a 2D-protected array.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ReadOutcome {
@@ -369,6 +375,23 @@ impl TwoDArray {
     /// Panics if `row`/`word` are out of range or `data` has the wrong
     /// width.
     pub fn write_word(&mut self, row: usize, word: usize, data: &Bits) {
+        let _ = self.write_word_timed(row, word, data);
+    }
+
+    /// Like [`TwoDArray::write_word`], but additionally returns the
+    /// correction latency the write incurred, in array-access cycles:
+    /// `0` on the common clean path, [`INLINE_CORRECT_CYCLES`] when a
+    /// latent single-bit error in the old word was fixed in-line, and
+    /// the BIST march cost ([`RecoveryReport::cycles`]) when latent
+    /// multi-bit damage forced a full recovery first. This is the
+    /// latency hook the cycle-level cache simulators use to convert
+    /// background correction work into bank back-pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`word` are out of range or `data` has the wrong
+    /// width.
+    pub fn write_word_timed(&mut self, row: usize, word: usize, data: &Bits) -> u64 {
         assert!(row < self.rows(), "row {row} out of range");
         assert!(word < self.words_per_row(), "word {word} out of range");
         assert_eq!(data.len(), self.layout().data_bits(), "data width mismatch");
@@ -381,23 +404,29 @@ impl TwoDArray {
         self.load_scratch_row(row);
         if self.scheme.word_clean(&self.scratch_row, word) {
             self.commit_clean_write(row, word, data);
-            return;
+            return 0;
         }
         // Latent-error path (cold; allocations acceptable here).
+        let correction_cycles;
         let mut old_row = self.scratch_row.clone();
         let old_data = self.layout().extract_data(&old_row, word);
         let old_check = self.layout().extract_check(&old_row, word);
         match self.hcode().decode(&old_data, &old_check) {
             Decoded::Corrected { data: fixed, .. } if self.scheme.inline_correct() => {
                 // Use the corrected old word for the parity delta.
+                correction_cycles = INLINE_CORRECT_CYCLES;
                 let fixed_check = self.hcode().encode(&fixed);
                 self.layout()
                     .place_word(&mut old_row, word, &fixed, &fixed_check);
             }
-            Decoded::Clean => {}
+            Decoded::Clean => correction_cycles = 0,
             _ => {
                 // Latent multi-bit damage: repair first, then re-read.
-                let _ = self.recover();
+                // A failed recovery still consumed a full march pass.
+                correction_cycles = match self.recover() {
+                    Ok(rec) => rec.cycles,
+                    Err(_) => self.rows() as u64,
+                };
                 old_row = self.read_row_raw(row);
             }
         }
@@ -407,6 +436,7 @@ impl TwoDArray {
         self.vparity.update(row, &old_row, &new_row);
         self.write_row_raw(row, &new_row);
         self.stats.writes += 1;
+        correction_cycles
     }
 
     /// Loads the overlaid content of `row` into the reusable scratch row
@@ -490,6 +520,30 @@ impl TwoDArray {
     ///
     /// Panics if `row`/`word` are out of range.
     pub fn read_word(&mut self, row: usize, word: usize) -> Result<ReadOutcome, EngineError> {
+        self.read_word_timed(row, word).map(|(out, _)| out)
+    }
+
+    /// Like [`TwoDArray::read_word`], but additionally returns the
+    /// correction latency the read incurred, in array-access cycles:
+    /// `0` for a clean read, [`INLINE_CORRECT_CYCLES`] for an in-line
+    /// SECDED fix (the corrected word is written back), and the BIST
+    /// march cost ([`RecoveryReport::cycles`]) when a 2D recovery had to
+    /// run. Cycle-level cache simulators use this hook to turn
+    /// correction work into measurable bank and MSHR back-pressure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Uncorrectable`] when recovery cannot
+    /// restore the word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`word` are out of range.
+    pub fn read_word_timed(
+        &mut self,
+        row: usize,
+        word: usize,
+    ) -> Result<(ReadOutcome, u64), EngineError> {
         assert!(row < self.rows(), "row {row} out of range");
         assert!(word < self.words_per_row(), "word {word} out of range");
         self.stats.reads += 1;
@@ -499,15 +553,16 @@ impl TwoDArray {
         // allocation is the returned data word itself.
         self.load_scratch_row(row);
         if self.scheme.word_clean(&self.scratch_row, word) {
-            return Ok(ReadOutcome::Clean(
-                self.layout().extract_data(&self.scratch_row, word),
+            return Ok((
+                ReadOutcome::Clean(self.layout().extract_data(&self.scratch_row, word)),
+                0,
             ));
         }
         let row_bits = self.scratch_row.clone();
         let data = self.layout().extract_data(&row_bits, word);
         let check = self.layout().extract_check(&row_bits, word);
         match self.hcode().decode(&data, &check) {
-            Decoded::Clean => Ok(ReadOutcome::Clean(data)),
+            Decoded::Clean => Ok((ReadOutcome::Clean(data), 0)),
             Decoded::Corrected { data: fixed, .. } if self.scheme.inline_correct() => {
                 self.stats.inline_corrections += 1;
                 // Write back the corrected word. The correction restores
@@ -518,17 +573,19 @@ impl TwoDArray {
                 self.layout()
                     .place_word(&mut new_row, word, &fixed, &new_check);
                 self.write_row_raw(row, &new_row);
-                Ok(ReadOutcome::CorrectedInline(fixed))
+                Ok((ReadOutcome::CorrectedInline(fixed), INLINE_CORRECT_CYCLES))
             }
             _ => {
                 // Multi-bit (or detection-only) error: 2D recovery.
-                self.recover()?;
+                let rec = self.recover()?;
                 let row_bits = self.read_row_raw(row);
                 let data = self.layout().extract_data(&row_bits, word);
                 let check = self.layout().extract_check(&row_bits, word);
                 match self.hcode().decode(&data, &check) {
-                    Decoded::Clean => Ok(ReadOutcome::Recovered(data)),
-                    Decoded::Corrected { data: fixed, .. } => Ok(ReadOutcome::Recovered(fixed)),
+                    Decoded::Clean => Ok((ReadOutcome::Recovered(data), rec.cycles)),
+                    Decoded::Corrected { data: fixed, .. } => {
+                        Ok((ReadOutcome::Recovered(fixed), rec.cycles))
+                    }
                     Decoded::Detected => Err(EngineError::Uncorrectable {
                         failing_rows: vec![row],
                     }),

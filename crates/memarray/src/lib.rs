@@ -56,7 +56,7 @@ mod vertical;
 pub use bitgrid::BitGrid;
 pub use engine::{
     ArrayProbe, EngineError, ReadKind, ReadOutcome, RecoveryReport, ScrubSlice, TwoDArray,
-    TwoDConfig, WriteKind, PROBE_MAX_ROW_LIMBS,
+    TwoDConfig, WriteKind, INLINE_CORRECT_CYCLES, PROBE_MAX_ROW_LIMBS,
 };
 pub use faults::{ErrorShape, FaultKind, FaultMap, InjectionReport, Injector};
 pub use layout::RowLayout;

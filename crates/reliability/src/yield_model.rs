@@ -83,6 +83,21 @@ impl YieldModel {
         poisson::cdf(spares, mu)
     }
 
+    /// Yield after in-field block retirement has consumed part of the
+    /// spare budget: `retired_words` of the provisioned `spares` are
+    /// already spent on DUE retirements (as projected by
+    /// `montecarlo::projected_retirements`), leaving fewer for
+    /// manufacturing defects.
+    pub fn yield_after_retirement(
+        &self,
+        failing_cells: u64,
+        spares: u64,
+        retired_words: u64,
+    ) -> f64 {
+        let left = spares.saturating_sub(retired_words);
+        self.yield_probability(failing_cells, RepairScheme::EccPlusSpares(left))
+    }
+
     /// Failing-cell count at which the yield first drops below `target`
     /// (bisection over the monotone yield curve; granularity 1 cell).
     pub fn cells_at_yield(&self, target: f64, scheme: RepairScheme, max_cells: u64) -> u64 {
